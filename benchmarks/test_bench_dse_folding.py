@@ -1,0 +1,23 @@
+"""E9 — FINN folding optimisation: throughput vs. resource staircase."""
+
+from repro.experiments.foldings import render_foldings, run_foldings
+
+
+def test_bench_dse_folding(benchmark, context, archive):
+    report = benchmark.pedantic(
+        lambda: run_foldings(context, targets=(1e4, 1e5, 5e5, 1e6, 5e6, 2e7)),
+        rounds=1,
+        iterations=1,
+    )
+    archive("E9-dse-folding", render_foldings(report).render())
+
+    points = report.points
+    # Every point meets its throughput target.
+    assert all(p.achieved_fps >= p.target_fps for p in points)
+    # Initiation interval is non-increasing as targets tighten.
+    iis = [p.initiation_interval for p in points]
+    assert all(a >= b for a, b in zip(iis, iis[1:]))
+    # Resources grow meaningfully across the sweep (the staircase exists).
+    assert report.resource_span > 2.0
+    # Even the fastest folding fits the device (with margin to spare).
+    assert points[-1].max_utilization_pct < 80.0

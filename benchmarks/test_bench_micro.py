@@ -1,0 +1,74 @@
+"""Microbenchmarks of the hot paths (real pytest-benchmark timing).
+
+These measure the library itself (not the modelled hardware): dataflow
+inference throughput, frame encoding, capture generation, compilation
+and cycle simulation — the numbers a downstream user cares about when
+scaling experiments up.
+"""
+
+import numpy as np
+import pytest
+
+from repro.can.frame import CANFrame
+from repro.datasets.features import BitFeatureEncoder
+from repro.finn.cyclesim import CycleSimulator
+from repro.finn.ipgen import compile_model
+
+
+@pytest.fixture(scope="module")
+def ip(context):
+    return context.ip("dos")
+
+
+@pytest.fixture(scope="module")
+def test_features(context):
+    return context.trained("dos").splits.x_test[:1024]
+
+
+def test_bench_graph_inference_batch(benchmark, ip, test_features):
+    """Functional dataflow execution, 1024 frames per call."""
+    labels = benchmark(lambda: ip.run(test_features))
+    assert labels.shape == (1024,)
+
+
+def test_bench_frame_encode(benchmark, context):
+    """Frame -> 79-bit feature vector encoding rate."""
+    records = context.capture("dos").records[:1000]
+    encoder = BitFeatureEncoder()
+    out = benchmark(lambda: [encoder.encode_frame(r) for r in records])
+    assert len(out) == 1000
+
+
+def test_bench_frame_wire_encoding(benchmark):
+    """CAN bit-level wire encoding (CRC + stuffing)."""
+    frame = CANFrame(0x316, bytes(range(8)))
+    bits = benchmark(frame.bit_length)
+    assert bits > 100
+
+
+def test_bench_compile_model(benchmark, context):
+    """Full FINN-substitute compilation (streamline+fold+verify)."""
+    model = context.trained("dos").model
+    ip = benchmark.pedantic(
+        lambda: compile_model(model, name="bench-compile", verify_samples=16),
+        rounds=3,
+        iterations=1,
+    )
+    assert ip.verification.exact
+
+
+def test_bench_cycle_sim(benchmark, ip):
+    """Cycle-accurate pipeline simulation, 1000 samples."""
+    simulator = CycleSimulator(ip.pipeline, ip.clock_hz)
+    report = benchmark(lambda: simulator.simulate(1000))
+    assert report.num_samples == 1000
+
+
+def test_bench_mmio_inference(benchmark, ip):
+    """Single-frame inference through the full AXI driver protocol."""
+    from repro.soc.accelerator import MemoryMappedAccelerator
+
+    accel = MemoryMappedAccelerator(ip)
+    features = np.zeros(79)
+    label, trace = benchmark(lambda: accel.infer(features))
+    assert trace.total_seconds > 0

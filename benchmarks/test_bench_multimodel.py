@@ -1,0 +1,18 @@
+"""E10 — multi-model deployment ("multiple models simultaneously")."""
+
+from repro.experiments.multimodel import render_multimodel, run_multimodel
+
+
+def test_bench_multimodel(benchmark, context, archive):
+    result = benchmark.pedantic(
+        lambda: run_multimodel(context, eval_frames=8000), rounds=1, iterations=1
+    )
+    archive("E10-multimodel", render_multimodel(result).render())
+
+    # Both detectors remain functional when co-resident.
+    assert result.dos_f1 > 99.5
+    assert result.fuzzy_f1 > 98.0
+    # Two models still use well under the device (paper: each <4%).
+    assert result.combined_max_utilization_pct < 8.0
+    # "Slightly higher energy consumption": tens of mW, not watts.
+    assert 0.0 < result.power_overhead_w < 0.2

@@ -1,0 +1,17 @@
+"""E7 — the in-text "<4 % of resources on the device" claim."""
+
+from repro.experiments.resources_report import render_resources, run_resources
+
+
+def test_bench_resources(benchmark, context, archive):
+    result = benchmark.pedantic(lambda: run_resources(context), rounds=1, iterations=1)
+    archive("E7-resources", render_resources(result).render())
+
+    assert result.meets_paper_claim  # max utilisation < 4%
+    for kind, percent in result.utilization_pct.items():
+        assert percent < 4.0, (kind, percent)
+    # Headroom for the multi-model deployment the paper proposes.
+    assert result.instances_fit >= 10
+    # Sanity on the estimate's composition: compute dominates the wrapper.
+    stage_luts = {name: est.lut for name, est in result.per_stage}
+    assert stage_luts["fc0_matmul"] > stage_luts["AXI wrapper"] / 2

@@ -1,0 +1,23 @@
+"""E1 — regenerate Table I (accuracy metric comparison).
+
+Shape fidelity asserted: both detectors in the high-99s, DoS at least
+as good as Fuzzy, small gap to the paper's own QMLP rows.
+"""
+
+from repro.experiments.table1 import render_table1, run_table1
+
+
+def test_bench_table1(benchmark, context, archive):
+    result = benchmark.pedantic(lambda: run_table1(context), rounds=1, iterations=1)
+    archive("E1-table1", render_table1(result).render())
+
+    dos, fuzzy = result.measured["dos"], result.measured["fuzzy"]
+    # Who wins: the QMLP sits with the literature pack (>= 99 across the board).
+    assert dos["f1"] >= 99.9, dos
+    assert fuzzy["f1"] >= 98.5, fuzzy
+    assert dos["f1"] >= fuzzy["f1"]  # Fuzzy is the harder attack (paper: 99.99 vs 99.80)
+    assert dos["fnr"] <= 0.1
+    assert fuzzy["fnr"] <= 1.5
+    # Reproduction gap to the paper's own rows stays small.
+    assert abs(result.f1_gap("dos")) < 0.5
+    assert abs(result.f1_gap("fuzzy")) < 1.5

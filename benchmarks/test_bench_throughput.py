@@ -1,0 +1,18 @@
+"""E5 — the in-text ">8300 messages per second, near line rate" claim."""
+
+from repro.experiments.throughput import render_throughput, run_throughput
+
+
+def test_bench_throughput(benchmark, context, archive):
+    result = benchmark.pedantic(
+        lambda: run_throughput(context, eval_frames=8000), rounds=1, iterations=1
+    )
+    archive("E5-throughput", render_throughput(result).render())
+
+    assert result.meets_paper_claim  # >8300 msg/s
+    assert result.near_line_rate_1m  # keeps up with a saturated 1 Mbit/s bus
+    # The hardware core has orders-of-magnitude headroom over the bus.
+    assert result.hw_core_fps > 100 * result.line_rate_1m_fps
+    # Wire bounds are physics: ~3.7k fps at 500 kbit/s, ~7.4k at 1 Mbit/s.
+    assert 3_500 < result.line_rate_500k_fps < 4_000
+    assert 7_000 < result.line_rate_1m_fps < 8_000

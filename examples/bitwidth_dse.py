@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""The paper's design-space exploration: which bit width to deploy?
+
+Sweeps uniform quantisation from 2 to 8 bits for both attacks, printing
+accuracy against hardware cost, and applies the paper's selection rule
+("4-bit uniform quantisation achieved best performance ... chosen for
+deployment").
+
+Run:  python examples/bitwidth_dse.py        (takes a few minutes)
+      python examples/bitwidth_dse.py --fast (coarser sweep, ~1 min)
+"""
+
+import sys
+
+from repro.dse.bitwidth import run_bitwidth_sweep, select_deployment_point
+from repro.utils.tables import Table
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    bit_widths = (2, 4, 8) if fast else (2, 3, 4, 6, 8)
+    duration = 8.0 if fast else 14.0
+    epochs = 6 if fast else 10
+
+    print(f"sweeping bit widths {bit_widths} (duration={duration}s, epochs={epochs})")
+    points = run_bitwidth_sweep(
+        bit_widths=bit_widths, duration=duration, epochs=epochs, seed=2023
+    )
+    selected = select_deployment_point(points)
+
+    table = Table(
+        ["W/A bits", "DoS F1", "Fuzzy F1", "LUT", "DSP", "max util %", "deploy"],
+        title="Quantisation DSE (paper selects 4-bit)",
+    )
+    for point in points:
+        table.add_row(
+            [
+                point.bits,
+                f"{point.metrics['dos']['f1']:.2f}",
+                f"{point.metrics['fuzzy']['f1']:.2f}",
+                f"{point.resources.lut:,.0f}",
+                f"{point.resources.dsp:.0f}",
+                f"{point.max_utilization_pct:.2f}",
+                "<==" if point.bits == selected.bits else "",
+            ]
+        )
+    print()
+    print(table.render())
+    print(
+        f"\nselected: {selected.bits}-bit "
+        f"(narrowest within 0.25 F1 points of the best mean F1)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Fig.-1 scenario: a vehicle network with IDS-enabled ECUs.
+
+Builds the system of the paper's Fig. 1: a CAN bus carrying periodic
+powertrain/body traffic plus a malicious node, monitored by IDS-ECUs
+that carry *both* detector IPs on one overlay (the paper's multi-model
+deployment).  Reports per-burst detection delay, combined resource
+cost and power.
+
+Run:  python examples/multi_ids_network.py
+"""
+
+import numpy as np
+
+from repro.datasets.carhacking import generate_capture
+from repro.datasets.features import BitFeatureEncoder
+from repro.finn.ipgen import compile_model
+from repro.soc.device import ZCU104
+from repro.soc.driver import Overlay
+from repro.soc.power import PowerModel
+from repro.training.metrics import ids_metrics
+from repro.training.pipeline import train_ids_model
+from repro.training.trainer import TrainConfig
+
+
+def train_detector(attack: str) -> tuple:
+    result = train_ids_model(
+        attack, duration=10.0, train_config=TrainConfig(epochs=8, seed=1), seed=100
+    )
+    print(f"  {result.summary()}")
+    ip = compile_model(result.model, name=f"{attack}_ids", target_fps=1e6)
+    return result, ip
+
+
+def main() -> None:
+    print("== training both detectors ==")
+    _, dos_ip = train_detector("dos")
+    _, fuzzy_ip = train_detector("fuzzy")
+
+    print("\n== multi-model overlay (paper: 'multiple models ... simultaneously') ==")
+    overlay = Overlay({"dos_ids": dos_ip, "fuzzy_ids": fuzzy_ip})
+    combined = dos_ip.resources + fuzzy_ip.resources
+    print(f"combined resources: {combined}")
+    print(f"ZCU104 max utilisation: {ZCU104.max_utilization(combined):.2f}%")
+    power = PowerModel()
+    print(
+        f"board power: one IP {power.total_w(dos_ip.resources):.3f} W, "
+        f"two IPs {power.total_w(dos_ip.resources) + power.pl_dynamic_w(fuzzy_ip.resources):.3f} W"
+    )
+
+    print("\n== scanning bus traffic (malicious node active) ==")
+    encoder = BitFeatureEncoder()
+    # Deploy on the vehicle the detectors were trained for: a fresh
+    # session (new seed) of the same car (vehicle_seed matches training).
+    from repro.utils.rng import derive_seed
+
+    vehicle_seed = derive_seed(100, "capture")
+    for attack, core in (("dos", overlay.dos_ids), ("fuzzy", overlay.fuzzy_ids)):
+        capture = generate_capture(
+            attack, duration=6.0, seed=777, vehicle_seed=vehicle_seed, initial_gap=1.0
+        )
+        features, labels = encoder.encode(capture.records)
+        predictions = core.classify_batch(features)
+        metrics = ids_metrics(labels, predictions)
+        timestamps = np.array([record.timestamp for record in capture.records])
+        delays = []
+        for start, end in capture.attack_windows:
+            in_window = (timestamps >= start) & (timestamps <= end)
+            alerts = timestamps[in_window & (predictions == 1)]
+            if alerts.size:
+                delays.append(1e3 * (alerts.min() - start))
+        print(
+            f"  {attack:>5}-IDS-ECU: {len(capture.records)} frames scanned, "
+            f"F1 {metrics['f1']:.2f}, FNR {metrics['fnr']:.2f}, "
+            f"first-alert delay {np.mean(delays):.2f} ms over {len(delays)} bursts"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+#!/usr/bin/env python
+"""Regenerate every table, figure and in-text metric of the paper.
+
+One command produces the full experiment report (Tables I & II, the
+Fig.-1 system demo, latency/throughput/energy/resource claims, the
+bit-width DSE and the folding sweep) — the same harness the benchmark
+suite drives, printed to stdout and saved as markdown.
+
+Run:  python examples/paper_tables.py          (full, several minutes)
+      python examples/paper_tables.py --fast   (small budgets, ~1 min)
+"""
+
+import sys
+from pathlib import Path
+
+from repro.experiments.context import ExperimentSettings
+from repro.experiments.runner import report_markdown, run_all
+
+
+def main() -> None:
+    fast = "--fast" in sys.argv
+    settings = (
+        ExperimentSettings(duration=6.0, epochs=5, seed=2023)
+        if fast
+        else ExperimentSettings(duration=16.0, epochs=10, seed=2023)
+    )
+    report = run_all(settings, include_dse=not fast, include_baselines=not fast)
+    for key in sorted(report):
+        print(f"\n{'=' * 70}\n{key}\n{'=' * 70}")
+        print(report[key])
+    out = Path("/tmp/repro-experiment-report.md")
+    out.write_text(report_markdown(report), encoding="utf-8")
+    print(f"\nfull report written to {out}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for offline environments without the ``wheel`` package.
+
+``pip install -e .`` on such environments needs the legacy
+``setup.py develop`` path (``--no-use-pep517 --no-build-isolation``);
+all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

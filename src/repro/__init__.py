@@ -1,0 +1,24 @@
+"""repro — reproduction of "Quantised Neural Network Accelerators for
+Low-Power IDS in Automotive Networks" (Khandelwal, Walsh & Shreejith,
+DATE 2023; arXiv:2401.12240).
+
+The package is organised as a stack of subsystems (see DESIGN.md):
+
+- :mod:`repro.autograd` / :mod:`repro.quant` — PyTorch/Brevitas
+  substitute: numpy autograd and quantisation-aware training.
+- :mod:`repro.can` / :mod:`repro.datasets` — CAN bus simulation and a
+  synthetic Car-Hacking dataset with the public CSV schema.
+- :mod:`repro.models` / :mod:`repro.training` — the paper's quantised
+  MLP IDS and its training recipes.
+- :mod:`repro.finn` — FINN substitute: dataflow compiler, folding,
+  resource estimation, cycle-accurate simulation.
+- :mod:`repro.soc` — Zynq UltraScale+ ECU platform model: AXI driver,
+  power/energy, latency.
+- :mod:`repro.baselines` / :mod:`repro.dse` /
+  :mod:`repro.experiments` — evaluation harnesses reproducing every
+  table, figure and in-text metric of the paper.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,57 @@
+"""A small numpy-backed reverse-mode automatic differentiation engine.
+
+This package is the reproduction's substitute for PyTorch: enough of a
+tensor library to express and train the paper's quantised MLP, the
+convolutional/recurrent baselines, and the straight-through estimators
+used in quantisation-aware training.
+
+Public surface
+--------------
+* :class:`~repro.autograd.tensor.Tensor` — the differentiable array.
+* :mod:`~repro.autograd.functional` — losses and activations.
+* :class:`~repro.autograd.module.Module` / layers — ``nn``-style modules.
+* :mod:`~repro.autograd.optim` — SGD/Adam and LR schedules.
+"""
+
+from repro.autograd import functional, init, optim
+from repro.autograd.layers import (
+    AvgPool2d,
+    BatchNorm1d,
+    Conv2d,
+    Dropout,
+    Flatten,
+    LeakyReLU,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+    Sigmoid,
+    Tanh,
+)
+from repro.autograd.module import Module, Parameter
+from repro.autograd.tensor import Tensor, concatenate, no_grad, stack, tensor
+
+__all__ = [
+    "AvgPool2d",
+    "BatchNorm1d",
+    "Conv2d",
+    "Dropout",
+    "Flatten",
+    "LeakyReLU",
+    "Linear",
+    "MaxPool2d",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "Sigmoid",
+    "Tanh",
+    "Tensor",
+    "concatenate",
+    "functional",
+    "init",
+    "no_grad",
+    "optim",
+    "stack",
+    "tensor",
+]

@@ -1,0 +1,114 @@
+"""Losses and stateless neural-network functions.
+
+Everything here is composed from :class:`~repro.autograd.tensor.Tensor`
+primitives so gradients are derived automatically; the numerically
+delicate pieces (log-sum-exp, BCE-with-logits) use the standard stable
+formulations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "logsumexp",
+    "cross_entropy",
+    "binary_cross_entropy_with_logits",
+    "mse_loss",
+    "l1_loss",
+    "accuracy",
+    "one_hot",
+]
+
+
+def logsumexp(logits: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable ``log(sum(exp(x)))`` along ``axis``."""
+    shift = Tensor(logits.data.max(axis=axis, keepdims=True))
+    shifted = logits - shift
+    return shifted.exp().sum(axis=axis, keepdims=True).log() + shift
+
+
+def log_softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Log of the softmax distribution along ``axis``."""
+    return logits - logsumexp(logits, axis=axis)
+
+
+def softmax(logits: Tensor, axis: int = -1) -> Tensor:
+    """Softmax distribution along ``axis``."""
+    return log_softmax(logits, axis=axis).exp()
+
+
+def cross_entropy(
+    logits: Tensor,
+    labels: np.ndarray,
+    class_weights: np.ndarray | None = None,
+) -> Tensor:
+    """Mean cross-entropy between ``logits`` (N, C) and integer ``labels`` (N,).
+
+    Parameters
+    ----------
+    class_weights:
+        Optional per-class weights (C,), used to counter class imbalance
+        (attack frames are a minority of CAN traffic).  Weighted losses
+        are normalised by the total weight of the batch, matching
+        ``torch.nn.CrossEntropyLoss``.
+    """
+    labels = np.asarray(labels)
+    if logits.ndim != 2:
+        raise ShapeError(f"cross_entropy expects 2-D logits, got shape {logits.shape}")
+    if labels.shape != (logits.shape[0],):
+        raise ShapeError(
+            f"labels shape {labels.shape} does not match logits batch {logits.shape[0]}"
+        )
+    log_probs = log_softmax(logits, axis=-1)
+    picked = log_probs[(np.arange(logits.shape[0]), labels.astype(np.int64))]
+    if class_weights is None:
+        return -picked.mean()
+    weights = np.asarray(class_weights, dtype=np.float64)[labels.astype(np.int64)]
+    total = float(weights.sum())
+    return -(picked * Tensor(weights)).sum() * (1.0 / total)
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Stable elementwise BCE on raw logits, averaged over the batch.
+
+    Uses ``max(x, 0) - x*y + log(1 + exp(-|x|))``, the standard
+    overflow-free identity.
+    """
+    targets_t = Tensor(np.asarray(targets, dtype=np.float64))
+    softplus_term = ((-logits.abs()).exp() + 1.0).log()
+    loss = logits.relu() - logits * targets_t + softplus_term
+    return loss.mean()
+
+
+def mse_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean squared error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    diff = prediction - target_t
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: Tensor, target: Tensor | np.ndarray) -> Tensor:
+    """Mean absolute error."""
+    target_t = target if isinstance(target, Tensor) else Tensor(target)
+    return (prediction - target_t).abs().mean()
+
+
+def accuracy(logits: Tensor | np.ndarray, labels: np.ndarray) -> float:
+    """Top-1 classification accuracy of (N, C) logits against (N,) labels."""
+    scores = logits.data if isinstance(logits, Tensor) else np.asarray(logits)
+    predictions = scores.argmax(axis=-1)
+    return float((predictions == np.asarray(labels)).mean())
+
+
+def one_hot(labels: np.ndarray, num_classes: int) -> np.ndarray:
+    """One-hot encode integer labels to an (N, C) float array."""
+    labels = np.asarray(labels, dtype=np.int64)
+    out = np.zeros((labels.shape[0], num_classes), dtype=np.float64)
+    out[np.arange(labels.shape[0]), labels] = 1.0
+    return out

@@ -1,0 +1,49 @@
+"""Baseline IDS implementations and published comparison numbers.
+
+Tables I and II of the paper compare the QMLP against five published
+IDSs by quoting their reported numbers; :mod:`published` carries those
+verbatim rows.  To make the comparison *regenerable*, this package also
+ships reduced trainable implementations of each baseline family on the
+same synthetic dataset:
+
+* :mod:`~repro.baselines.dcnn` — DCNN (Song et al.): CNN over 29-frame
+  CAN-ID bit grids (block-based detection).
+* :mod:`~repro.baselines.recurrent` — GRU (Ma et al.) and MLIDS-style
+  LSTM sequence classifiers.
+* :mod:`~repro.baselines.tcan` — TCAN-IDS-style temporal convolution
+  with attention pooling.
+* :mod:`~repro.baselines.mth` — MTH-IDS-style tree ensemble (decision
+  trees + bagged forest, implemented from scratch).
+
+"Reduced" means: same input representation and model family at a scale
+that trains in seconds on CPU — enough to regenerate the *ordering* of
+Table I, not the third decimal of any published number.
+"""
+
+from repro.baselines.common import BaselineResult, evaluate_baseline
+from repro.baselines.dcnn import DCNNBaseline
+from repro.baselines.mth import DecisionTree, MTHBaseline, RandomForest
+from repro.baselines.published import (
+    PUBLISHED_ACCURACY,
+    PUBLISHED_LATENCY,
+    PublishedAccuracy,
+    PublishedLatency,
+)
+from repro.baselines.recurrent import GRUBaseline, LSTMBaseline
+from repro.baselines.tcan import TCANBaseline
+
+__all__ = [
+    "BaselineResult",
+    "DCNNBaseline",
+    "DecisionTree",
+    "GRUBaseline",
+    "LSTMBaseline",
+    "MTHBaseline",
+    "PUBLISHED_ACCURACY",
+    "PUBLISHED_LATENCY",
+    "PublishedAccuracy",
+    "PublishedLatency",
+    "RandomForest",
+    "TCANBaseline",
+    "evaluate_baseline",
+]

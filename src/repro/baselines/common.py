@@ -1,0 +1,110 @@
+"""Shared plumbing for trainable baselines.
+
+Every baseline implements the tiny ``fit(X, y)`` / ``predict(X)``
+protocol; :func:`evaluate_baseline` runs the standard capture → encode
+→ split → train → test pipeline and returns a :class:`BaselineResult`
+comparable with the QMLP numbers.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Protocol, Sequence
+
+import numpy as np
+
+from repro.can.log import CANLogRecord
+from repro.datasets.splits import train_val_test_split
+from repro.errors import DatasetError
+from repro.training.metrics import ids_metrics
+from repro.utils.bitops import int_to_bits
+
+__all__ = ["BaselineClassifier", "BaselineResult", "evaluate_baseline", "id_grid_windows"]
+
+
+class BaselineClassifier(Protocol):
+    """Minimal classifier protocol shared by all baselines."""
+
+    name: str
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> None: ...
+
+    def predict(self, features: np.ndarray) -> np.ndarray: ...
+
+
+@dataclass
+class BaselineResult:
+    """Test-set outcome of one baseline run."""
+
+    name: str
+    attack: str
+    metrics: dict[str, float]
+    train_seconds: float
+    num_samples: int
+    notes: str = ""
+
+    def summary(self) -> str:
+        m = self.metrics
+        return (
+            f"{self.name} ({self.attack}): P {m['precision']:.2f} "
+            f"R {m['recall']:.2f} F1 {m['f1']:.2f} FNR {m['fnr']:.2f} "
+            f"[{self.train_seconds:.1f}s train]"
+        )
+
+
+def evaluate_baseline(
+    classifier: BaselineClassifier,
+    features: np.ndarray,
+    labels: np.ndarray,
+    attack: str,
+    seed: int = 0,
+    notes: str = "",
+) -> BaselineResult:
+    """Split, train and test a baseline on pre-encoded data."""
+    splits = train_val_test_split(features, labels, seed=seed)
+    started = time.perf_counter()
+    classifier.fit(splits.x_train, splits.y_train)
+    train_seconds = time.perf_counter() - started
+    predictions = classifier.predict(splits.x_test)
+    return BaselineResult(
+        name=classifier.name,
+        attack=attack,
+        metrics=ids_metrics(splits.y_test, predictions),
+        train_seconds=train_seconds,
+        num_samples=len(labels),
+        notes=notes,
+    )
+
+
+def id_grid_windows(
+    records: Sequence[CANLogRecord],
+    window: int = 29,
+    pad_to: tuple[int, int] = (32, 16),
+    stride: int = 1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Build DCNN-style CAN-ID bit-grid windows.
+
+    Song et al.'s DCNN consumes blocks of 29 consecutive identifiers as
+    a binary image (one row per frame, columns = identifier bits); a
+    window is labelled attack if it contains any injected frame
+    (block-based detection).  Rows/columns are zero-padded to ``pad_to``
+    so the pooling stack divides evenly.
+
+    Returns ``(X, y)`` with ``X`` of shape (N, 1, pad_to[0], pad_to[1]).
+    """
+    if len(records) < window:
+        raise DatasetError(f"need at least {window} frames, got {len(records)}")
+    height, width = pad_to
+    if height < window or width < 11:
+        raise DatasetError(f"pad_to {pad_to} cannot hold a {window}x11 grid")
+    id_bits = np.stack([int_to_bits(record.can_id, 11) for record in records]).astype(np.float64)
+    flags = np.array([1 if record.is_attack else 0 for record in records], dtype=np.int64)
+    images = []
+    labels = []
+    for start in range(0, len(records) - window + 1, stride):
+        grid = np.zeros((height, width), dtype=np.float64)
+        grid[:window, :11] = id_bits[start : start + window]
+        images.append(grid)
+        labels.append(int(flags[start : start + window].any()))
+    return np.stack(images)[:, None, :, :], np.asarray(labels, dtype=np.int64)

@@ -1,0 +1,61 @@
+"""Reduced DCNN baseline (Song, Woo & Kim 2020).
+
+The original is a reduced Inception-ResNet over 29-frame CAN-ID grids
+on a Tesla K80; the reproduction keeps the input representation
+(identifier-bit grids, block labels — see
+:func:`repro.baselines.common.id_grid_windows`) with a compact
+conv/pool stack that trains on CPU in seconds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.layers import (
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    Sequential,
+)
+from repro.training.trainer import TrainConfig, Trainer
+from repro.utils.rng import derive_seed
+
+__all__ = ["DCNNBaseline", "build_dcnn"]
+
+
+def build_dcnn(input_shape: tuple[int, int] = (32, 16), seed: int = 0) -> Sequential:
+    """A compact CNN for (1, H, W) identifier-bit grids."""
+    height, width = input_shape
+    flat = 16 * (height // 4) * (width // 4)
+    return Sequential(
+        Conv2d(1, 8, 3, padding=1, seed=derive_seed(seed, "conv1")),
+        ReLU(),
+        MaxPool2d(2),
+        Conv2d(8, 16, 3, padding=1, seed=derive_seed(seed, "conv2")),
+        ReLU(),
+        MaxPool2d(2),
+        Flatten(),
+        Linear(flat, 32, seed=derive_seed(seed, "fc1")),
+        ReLU(),
+        Linear(32, 2, seed=derive_seed(seed, "fc2")),
+    )
+
+
+class DCNNBaseline:
+    """fit/predict wrapper around the compact DCNN."""
+
+    def __init__(self, input_shape: tuple[int, int] = (32, 16), epochs: int = 5, seed: int = 0):
+        self.name = "DCNN (reduced)"
+        self.model = build_dcnn(input_shape, seed=seed)
+        self.config = TrainConfig(
+            epochs=epochs, batch_size=128, lr=2e-3, early_stopping_patience=2, seed=seed
+        )
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """``features``: (N, 1, H, W) grids from :func:`id_grid_windows`."""
+        Trainer(self.config).fit(self.model, features, labels)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return Trainer.predict(self.model, features, batch_size=1024)

@@ -1,0 +1,157 @@
+"""Recurrent baselines: GRU (Ma et al. 2022) and MLIDS-style LSTM.
+
+Both consume short sequences of per-frame features (the
+:class:`~repro.datasets.features.WindowFeatureEncoder` sequence form)
+and classify the newest frame.  Cells are built from autograd
+primitives — gates are explicit, as in the textbook equations — so the
+reproduction carries no recurrent black boxes.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.layers import Linear
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+from repro.training.trainer import TrainConfig, Trainer
+from repro.utils.rng import derive_seed
+
+__all__ = ["GRUCell", "LSTMCell", "GRUBaseline", "LSTMBaseline"]
+
+
+class GRUCell(Module):
+    """Standard GRU: update/reset gates plus candidate state."""
+
+    def __init__(self, input_size: int, hidden_size: int, seed: int = 0):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        mk = lambda tag, fan_in: Linear(fan_in, hidden_size, seed=derive_seed(seed, tag))
+        self.w_z, self.u_z = mk("wz", input_size), mk("uz", hidden_size)
+        self.w_r, self.u_r = mk("wr", input_size), mk("ur", hidden_size)
+        self.w_h, self.u_h = mk("wh", input_size), mk("uh", hidden_size)
+
+    def forward(self, x_t: Tensor, h: Tensor) -> Tensor:
+        z = (self.w_z(x_t) + self.u_z(h)).sigmoid()
+        r = (self.w_r(x_t) + self.u_r(h)).sigmoid()
+        candidate = (self.w_h(x_t) + self.u_h(h * r)).tanh()
+        one_minus_z = (z * -1.0) + 1.0
+        return z * h + one_minus_z * candidate
+
+
+class LSTMCell(Module):
+    """Standard LSTM with input/forget/output gates."""
+
+    def __init__(self, input_size: int, hidden_size: int, seed: int = 0):
+        super().__init__()
+        self.input_size = input_size
+        self.hidden_size = hidden_size
+        mk = lambda tag, fan_in: Linear(fan_in, hidden_size, seed=derive_seed(seed, tag))
+        self.w_i, self.u_i = mk("wi", input_size), mk("ui", hidden_size)
+        self.w_f, self.u_f = mk("wf", input_size), mk("uf", hidden_size)
+        self.w_o, self.u_o = mk("wo", input_size), mk("uo", hidden_size)
+        self.w_c, self.u_c = mk("wc", input_size), mk("uc", hidden_size)
+
+    def forward(self, x_t: Tensor, h: Tensor, c: Tensor) -> tuple[Tensor, Tensor]:
+        i = (self.w_i(x_t) + self.u_i(h)).sigmoid()
+        f = (self.w_f(x_t) + self.u_f(h)).sigmoid()
+        o = (self.w_o(x_t) + self.u_o(h)).sigmoid()
+        g = (self.w_c(x_t) + self.u_c(h)).tanh()
+        c_next = f * c + i * g
+        return o * c_next.tanh(), c_next
+
+
+class _RecurrentClassifier(Module):
+    """Shared: unroll a cell over (N, T, F) and classify the final state."""
+
+    def __init__(self, input_size: int, hidden_size: int, num_classes: int, seed: int):
+        super().__init__()
+        self.hidden_size = hidden_size
+        self.head = Linear(hidden_size, num_classes, seed=derive_seed(seed, "head"))
+
+    def _unroll(self, sequences: Tensor) -> Tensor:
+        raise NotImplementedError
+
+    def forward(self, sequences: Tensor) -> Tensor:
+        if sequences.ndim != 3:
+            raise ShapeError(f"expected (N, T, F) sequences, got {sequences.shape}")
+        return self.head(self._unroll(sequences))
+
+
+class GRUClassifier(_RecurrentClassifier):
+    """GRU encoder + linear head."""
+
+    def __init__(self, input_size: int, hidden_size: int = 32, num_classes: int = 2, seed: int = 0):
+        super().__init__(input_size, hidden_size, num_classes, seed)
+        self.cell = GRUCell(input_size, hidden_size, seed=derive_seed(seed, "cell"))
+
+    def _unroll(self, sequences: Tensor) -> Tensor:
+        batch, steps, _ = sequences.shape
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        for t in range(steps):
+            h = self.cell(Tensor(sequences.data[:, t, :]), h)
+        return h
+
+
+class LSTMClassifier(_RecurrentClassifier):
+    """LSTM encoder + linear head (MLIDS consumes raw frame sequences)."""
+
+    def __init__(self, input_size: int, hidden_size: int = 32, num_classes: int = 2, seed: int = 0):
+        super().__init__(input_size, hidden_size, num_classes, seed)
+        self.cell = LSTMCell(input_size, hidden_size, seed=derive_seed(seed, "cell"))
+
+    def _unroll(self, sequences: Tensor) -> Tensor:
+        batch, steps, _ = sequences.shape
+        h = Tensor(np.zeros((batch, self.hidden_size)))
+        c = Tensor(np.zeros((batch, self.hidden_size)))
+        for t in range(steps):
+            h, c = self.cell(Tensor(sequences.data[:, t, :]), h, c)
+        return h
+
+
+class _RecurrentBaseline:
+    """fit/predict adapter over the shared Trainer."""
+
+    def __init__(self, model: _RecurrentClassifier, name: str, epochs: int, seed: int):
+        self.model = model
+        self.name = name
+        self.config = TrainConfig(
+            epochs=epochs, batch_size=256, lr=3e-3, clip_norm=5.0,
+            early_stopping_patience=3, seed=seed,
+        )
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """``features`` are (N, T, F) sequences."""
+        Trainer(self.config).fit(self.model, features, labels)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return Trainer.predict(self.model, features)
+
+    def predict_logits(self, features: np.ndarray) -> np.ndarray:
+        return Trainer.predict_logits(self.model, features)
+
+
+class GRUBaseline(_RecurrentBaseline):
+    """Reduced GRU IDS (Ma et al.)."""
+
+    def __init__(self, input_size: int, hidden_size: int = 32, epochs: int = 6, seed: int = 0):
+        super().__init__(
+            GRUClassifier(input_size, hidden_size, seed=derive_seed(seed, "gru")),
+            name="GRU (reduced)",
+            epochs=epochs,
+            seed=seed,
+        )
+
+
+class LSTMBaseline(_RecurrentBaseline):
+    """Reduced MLIDS-style LSTM."""
+
+    def __init__(self, input_size: int, hidden_size: int = 32, epochs: int = 6, seed: int = 0):
+        super().__init__(
+            LSTMClassifier(input_size, hidden_size, seed=derive_seed(seed, "lstm")),
+            name="MLIDS-LSTM (reduced)",
+            epochs=epochs,
+            seed=seed,
+        )

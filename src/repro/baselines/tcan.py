@@ -1,0 +1,69 @@
+"""Reduced TCAN-IDS baseline (Cheng et al. 2022).
+
+TCAN-IDS is a temporal convolutional network with attention over
+64-frame blocks on a Jetson AGX.  The reduction keeps the structure —
+causal 1-D convolutions over a frame sequence, attention pooling over
+time, linear head — at CPU-trainable scale.  1-D convolutions are
+expressed as (1 x k) 2-D convolutions over an (N, F, 1, T) layout.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd.layers import Conv2d, Linear
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor
+from repro.errors import ShapeError
+from repro.training.trainer import TrainConfig, Trainer
+from repro.utils.rng import derive_seed
+
+__all__ = ["TCANBaseline", "TCANClassifier"]
+
+
+class TCANClassifier(Module):
+    """Temporal conv encoder + attention pooling + linear head."""
+
+    def __init__(self, input_size: int, channels: int = 16, num_classes: int = 2, seed: int = 0):
+        super().__init__()
+        self.input_size = input_size
+        self.channels = channels
+        self.conv1 = Conv2d(input_size, channels, (1, 3), padding=(0, 1), seed=derive_seed(seed, "c1"))
+        self.conv2 = Conv2d(channels, channels, (1, 3), padding=(0, 1), seed=derive_seed(seed, "c2"))
+        self.attention = Linear(channels, 1, seed=derive_seed(seed, "attn"))
+        self.head = Linear(channels, num_classes, seed=derive_seed(seed, "head"))
+
+    def forward(self, sequences: Tensor) -> Tensor:
+        if sequences.ndim != 3 or sequences.shape[2] != self.input_size:
+            raise ShapeError(f"expected (N, T, {self.input_size}), got {sequences.shape}")
+        batch, steps, _ = sequences.shape
+        # (N, T, F) -> (N, F, 1, T) for the 1-D-as-2-D convolutions.
+        x = sequences.transpose(0, 2, 1).reshape(batch, self.input_size, 1, steps)
+        x = self.conv1(x).relu()
+        x = self.conv2(x).relu()  # (N, C, 1, T)
+        feats = x.reshape(batch, self.channels, steps).transpose(0, 2, 1)  # (N, T, C)
+        # Attention pooling: softmax over time of a learned score.
+        scores = self.attention(feats.reshape(batch * steps, self.channels))
+        weights = F.softmax(scores.reshape(batch, steps), axis=1)
+        pooled = (feats * weights.reshape(batch, steps, 1)).sum(axis=1)  # (N, C)
+        return self.head(pooled)
+
+
+class TCANBaseline:
+    """fit/predict wrapper over the reduced TCAN classifier."""
+
+    def __init__(self, input_size: int, channels: int = 16, epochs: int = 6, seed: int = 0):
+        self.name = "TCAN-IDS (reduced)"
+        self.model = TCANClassifier(input_size, channels, seed=derive_seed(seed, "tcan"))
+        self.config = TrainConfig(
+            epochs=epochs, batch_size=256, lr=2e-3, clip_norm=5.0,
+            early_stopping_patience=3, seed=seed,
+        )
+
+    def fit(self, features: np.ndarray, labels: np.ndarray) -> None:
+        """``features``: (N, T, F) sequences."""
+        Trainer(self.config).fit(self.model, features, labels)
+
+    def predict(self, features: np.ndarray) -> np.ndarray:
+        return Trainer.predict(self.model, features)

@@ -1,0 +1,35 @@
+"""Controller Area Network substrate.
+
+A bit-accurate CAN 2.0A/2.0B frame codec (CRC-15, bit stuffing, exact
+wire lengths), an event-driven bus simulator with priority arbitration,
+periodic ECU traffic sources and the attack injectors the Car-Hacking
+dataset was recorded with (DoS floods, fuzzing, spoofing, replay).
+
+The paper's system observes frames at an ECU's CAN interface; this
+package is what generates those frames with realistic timing — including
+the side effects attacks have on legitimate traffic (a DoS flood of
+dominant-ID frames delays everyone else through arbitration, which the
+simulator reproduces).
+"""
+
+from repro.can.attacks import DoSAttacker, FuzzyAttacker, ReplayAttacker, SpoofingAttacker
+from repro.can.bus import BusRecord, BusSimulator
+from repro.can.frame import CANFrame, crc15
+from repro.can.log import read_car_hacking_csv, write_car_hacking_csv
+from repro.can.node import PeriodicSender, ScheduledFrame, TrafficSource
+
+__all__ = [
+    "BusRecord",
+    "BusSimulator",
+    "CANFrame",
+    "DoSAttacker",
+    "FuzzyAttacker",
+    "PeriodicSender",
+    "ReplayAttacker",
+    "ScheduledFrame",
+    "SpoofingAttacker",
+    "TrafficSource",
+    "crc15",
+    "read_car_hacking_csv",
+    "write_car_hacking_csv",
+]

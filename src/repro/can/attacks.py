@@ -1,0 +1,159 @@
+"""Attack traffic injectors.
+
+These reproduce the four attack mechanics of the Car-Hacking dataset
+(Song, Woo & Kim 2020); the paper trains detectors for the first two:
+
+* **DoS** — inject the dominant identifier ``0x000`` every 0.3 ms.  It
+  wins every arbitration round, starving legitimate traffic.
+* **Fuzzy** — inject frames with uniformly random identifier and payload
+  every 0.5 ms, probing ECU behaviour.
+* **Spoofing** (gear/RPM in the original capture) — inject well-formed
+  frames of one legitimate identifier with attacker-chosen payloads.
+* **Replay** — retransmit previously captured frames.
+
+All injectors are :class:`~repro.can.node.TrafficSource` implementations
+restricted to configurable active windows, mirroring how the dataset
+alternates attack-free and attack intervals.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+from repro.can.frame import CANFrame, MAX_STANDARD_ID
+from repro.can.node import ScheduledFrame
+from repro.errors import CANError
+from repro.utils.rng import new_rng
+
+__all__ = ["DoSAttacker", "FuzzyAttacker", "SpoofingAttacker", "ReplayAttacker"]
+
+Window = tuple[float, float]
+
+
+class _WindowedInjector:
+    """Shared logic: periodic injection inside active windows."""
+
+    def __init__(self, interval: float, windows: Sequence[Window], name: str, seed: int):
+        if interval <= 0:
+            raise CANError(f"injection interval must be positive, got {interval}")
+        for start, end in windows:
+            if end <= start:
+                raise CANError(f"attack window ({start}, {end}) is empty")
+        self.interval = interval
+        self.windows = sorted(windows)
+        self.name = name
+        self._rng = new_rng(seed, f"attacker-{name}")
+
+    def _build_frame(self) -> CANFrame:
+        raise NotImplementedError
+
+    def frames(self, until: float) -> Iterator[ScheduledFrame]:
+        for start, end in self.windows:
+            release = start
+            while release < min(end, until):
+                yield ScheduledFrame(release, self._build_frame(), "T", self.name)
+                release += self.interval
+            if start >= until:
+                break
+
+
+class DoSAttacker(_WindowedInjector):
+    """Flood the bus with the highest-priority identifier.
+
+    Defaults follow the Car-Hacking dataset: ``0x000`` with an 8-byte
+    zero payload every 0.3 ms.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[Window],
+        interval: float = 0.0003,
+        can_id: int = 0x000,
+        payload: bytes = bytes(8),
+        seed: int = 0,
+    ):
+        super().__init__(interval, windows, "dos-attacker", seed)
+        self.can_id = can_id
+        self.payload = payload
+
+    def _build_frame(self) -> CANFrame:
+        return CANFrame(self.can_id, self.payload)
+
+
+class FuzzyAttacker(_WindowedInjector):
+    """Inject frames with uniformly random identifiers and payloads.
+
+    Defaults follow the Car-Hacking dataset: a random frame every
+    0.5 ms.  Identifiers are drawn from the full standard range, so a
+    fraction of fuzzed frames collides with legitimate identifiers —
+    exactly what makes Fuzzy detection harder than DoS in Table I.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[Window],
+        interval: float = 0.0005,
+        id_range: tuple[int, int] = (0x000, MAX_STANDARD_ID),
+        dlc: int = 8,
+        seed: int = 0,
+    ):
+        super().__init__(interval, windows, "fuzzy-attacker", seed)
+        if not 0 <= id_range[0] <= id_range[1] <= MAX_STANDARD_ID:
+            raise CANError(f"invalid fuzzing id range {id_range}")
+        self.id_range = id_range
+        self.dlc = dlc
+
+    def _build_frame(self) -> CANFrame:
+        can_id = int(self._rng.integers(self.id_range[0], self.id_range[1] + 1))
+        payload = bytes(int(b) for b in self._rng.integers(0, 256, size=self.dlc))
+        return CANFrame(can_id, payload)
+
+
+class SpoofingAttacker(_WindowedInjector):
+    """Inject a legitimate identifier with attacker-controlled payloads.
+
+    The original dataset spoofs gear (0x43F) and RPM (0x316) gauges at a
+    1 ms cadence.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[Window],
+        target_id: int = 0x316,
+        interval: float = 0.001,
+        payload_pool: Sequence[bytes] | None = None,
+        seed: int = 0,
+    ):
+        super().__init__(interval, windows, f"spoof-0x{target_id:03X}", seed)
+        self.target_id = target_id
+        self.payload_pool = list(payload_pool) if payload_pool else [bytes([0xFF, 0x00] * 4)]
+
+    def _build_frame(self) -> CANFrame:
+        choice = int(self._rng.integers(0, len(self.payload_pool)))
+        return CANFrame(self.target_id, self.payload_pool[choice])
+
+
+class ReplayAttacker:
+    """Replay a previously captured frame sequence inside a window.
+
+    Unlike the windowed injectors, release times come from the capture
+    itself (shifted to the window start), preserving original pacing.
+    """
+
+    def __init__(self, capture: Sequence[CANFrame], offsets: Sequence[float], window: Window, name: str = "replay-attacker"):
+        if len(capture) != len(offsets):
+            raise CANError("capture and offsets must have matching lengths")
+        if window[1] <= window[0]:
+            raise CANError(f"replay window {window} is empty")
+        self.capture = list(capture)
+        self.offsets = list(offsets)
+        self.window = window
+        self.name = name
+
+    def frames(self, until: float) -> Iterator[ScheduledFrame]:
+        start, end = self.window
+        for frame, offset in zip(self.capture, self.offsets):
+            release = start + offset
+            if release >= min(end, until):
+                break
+            yield ScheduledFrame(release, frame, "T", self.name)

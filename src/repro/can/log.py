@@ -1,0 +1,116 @@
+"""Car-Hacking-dataset-compatible capture records and CSV I/O.
+
+The public Car-Hacking dataset (Song, Woo & Kim 2020) ships CSV files
+with rows of the form::
+
+    Timestamp, ID (hex), DLC, DATA0, ..., DATA[DLC-1], Flag
+
+where ``Flag`` is ``R`` for regular traffic and ``T`` for injected
+frames.  This module reads and writes that exact schema, so the
+synthetic captures produced by :mod:`repro.datasets.carhacking` and the
+real dataset files are interchangeable everywhere in the library.
+"""
+
+from __future__ import annotations
+
+import csv
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterable, Sequence
+
+from repro.can.bus import BusRecord
+from repro.can.frame import CANFrame
+from repro.errors import DatasetError
+
+__all__ = ["CANLogRecord", "read_car_hacking_csv", "write_car_hacking_csv", "records_from_bus"]
+
+LABEL_NORMAL = "R"
+LABEL_ATTACK = "T"
+
+
+@dataclass(frozen=True)
+class CANLogRecord:
+    """One captured frame: what an IDS sees at the CAN interface."""
+
+    timestamp: float
+    can_id: int
+    dlc: int
+    data: bytes
+    label: str
+
+    def __post_init__(self) -> None:
+        if self.label not in (LABEL_NORMAL, LABEL_ATTACK):
+            raise DatasetError(f"label must be 'R' or 'T', got {self.label!r}")
+        if self.dlc != len(self.data):
+            raise DatasetError(f"dlc {self.dlc} != payload length {len(self.data)}")
+
+    @property
+    def is_attack(self) -> bool:
+        return self.label == LABEL_ATTACK
+
+    def to_frame(self) -> CANFrame:
+        """Reconstruct the wire-level frame."""
+        return CANFrame(self.can_id, self.data)
+
+
+def records_from_bus(bus_records: Iterable[BusRecord]) -> list[CANLogRecord]:
+    """Convert simulator output into capture records."""
+    return [
+        CANLogRecord(
+            timestamp=record.timestamp,
+            can_id=record.frame.can_id,
+            dlc=record.frame.dlc,
+            data=record.frame.data,
+            label=record.label,
+        )
+        for record in bus_records
+    ]
+
+
+def write_car_hacking_csv(records: Sequence[CANLogRecord], path: str | Path) -> Path:
+    """Write records in the Car-Hacking dataset CSV schema."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="", encoding="utf-8") as handle:
+        writer = csv.writer(handle)
+        for record in records:
+            row = [f"{record.timestamp:.6f}", f"{record.can_id:04x}", str(record.dlc)]
+            row.extend(f"{byte:02x}" for byte in record.data)
+            row.append(record.label)
+            writer.writerow(row)
+    return path
+
+
+def read_car_hacking_csv(path: str | Path, limit: int | None = None) -> list[CANLogRecord]:
+    """Read a Car-Hacking-schema CSV (real dataset files drop in here).
+
+    Handles the dataset's quirks: variable column counts (rows carry
+    ``DLC`` data bytes), uppercase/lowercase hex, and optional header
+    rows (skipped when the first cell is not numeric).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise DatasetError(f"capture file not found: {path}")
+    records: list[CANLogRecord] = []
+    with path.open("r", newline="", encoding="utf-8") as handle:
+        reader = csv.reader(handle)
+        for row_number, row in enumerate(reader):
+            if not row:
+                continue
+            try:
+                timestamp = float(row[0])
+            except ValueError:
+                if row_number == 0:
+                    continue  # header row
+                raise DatasetError(f"{path}:{row_number + 1}: bad timestamp {row[0]!r}")
+            try:
+                can_id = int(row[1], 16)
+                dlc = int(row[2])
+                data = bytes(int(cell, 16) for cell in row[3 : 3 + dlc])
+                label = row[3 + dlc].strip()
+            except (ValueError, IndexError) as exc:
+                raise DatasetError(f"{path}:{row_number + 1}: malformed row ({exc})")
+            records.append(CANLogRecord(timestamp, can_id, dlc, data, label))
+            if limit is not None and len(records) >= limit:
+                break
+    return records

@@ -1,0 +1,153 @@
+"""Traffic sources: the ECUs that populate a CAN bus.
+
+A :class:`TrafficSource` yields :class:`ScheduledFrame` release events;
+the bus simulator merges all sources and resolves arbitration.  The
+periodic sender models the dominant pattern of real in-vehicle traffic:
+fixed-period broadcast of sensor/actuator state with small clock jitter
+and slowly evolving payloads (counters, ramping sensor readings,
+constant config bytes) — the structure the Car-Hacking dataset exhibits
+and the structure fuzzing attacks violate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Protocol
+
+import numpy as np
+
+from repro.can.frame import CANFrame
+from repro.errors import CANError
+from repro.utils.rng import new_rng
+
+__all__ = [
+    "ScheduledFrame",
+    "TrafficSource",
+    "PeriodicSender",
+    "counter_payload",
+    "sensor_payload",
+    "constant_payload",
+]
+
+
+@dataclass(frozen=True)
+class ScheduledFrame:
+    """A frame released for transmission at ``release_time`` seconds."""
+
+    release_time: float
+    frame: CANFrame
+    label: str  # "R" (regular) or "T" (attack/injected)
+    source: str  # node name, for diagnostics
+
+
+class TrafficSource(Protocol):
+    """Anything that can enumerate its frame releases up to a horizon."""
+
+    def frames(self, until: float) -> Iterator[ScheduledFrame]:
+        """Yield scheduled frames with ``release_time < until``, in order."""
+        ...
+
+
+PayloadModel = Callable[[int, np.random.Generator], bytes]
+
+
+def counter_payload(dlc: int = 8, counter_byte: int = 0) -> PayloadModel:
+    """Payload with a wrapping message counter in one byte, zeros elsewhere.
+
+    Many real ECUs embed an alive-counter; its regular increment is a
+    strong normality signal.
+    """
+
+    def model(sequence: int, _rng: np.random.Generator) -> bytes:
+        payload = bytearray(dlc)
+        payload[counter_byte] = sequence & 0xFF
+        return bytes(payload)
+
+    return model
+
+
+def sensor_payload(dlc: int = 8, active_bytes: int = 2, walk_step: int = 3, seed: int = 0) -> PayloadModel:
+    """Random-walk sensor value in the first bytes, constants elsewhere.
+
+    Models wheel speeds, RPM, temperatures: values drift smoothly rather
+    than jumping, unlike fuzzed payloads.
+    """
+    state = {"value": None}
+
+    def model(sequence: int, rng: np.random.Generator) -> bytes:
+        if state["value"] is None:
+            init_rng = new_rng(seed, "sensor-init")
+            state["value"] = [int(init_rng.integers(0, 256)) for _ in range(active_bytes)]
+            state["constants"] = [int(init_rng.integers(0, 256)) for _ in range(dlc - active_bytes)]
+        values = state["value"]
+        for i in range(active_bytes):
+            step = int(rng.integers(-walk_step, walk_step + 1))
+            values[i] = int(np.clip(values[i] + step, 0, 255))
+        return bytes(values) + bytes(state["constants"])
+
+    return model
+
+
+def constant_payload(data: bytes) -> PayloadModel:
+    """Fixed payload (status words, configuration echoes)."""
+
+    def model(_sequence: int, _rng: np.random.Generator) -> bytes:
+        return data
+
+    return model
+
+
+class PeriodicSender:
+    """An ECU broadcasting one CAN identifier at a fixed period.
+
+    Parameters
+    ----------
+    can_id:
+        Identifier to transmit.
+    period:
+        Nominal seconds between releases (real IDs range ~10 ms-1 s).
+    payload_model:
+        Callable producing the payload for the n-th transmission.
+    jitter:
+        Uniform release jitter as a fraction of the period (scheduling
+        noise of the sending ECU).
+    phase:
+        Release offset of the first frame; randomised from the seed when
+        None so senders don't start in lockstep.
+    """
+
+    def __init__(
+        self,
+        can_id: int,
+        period: float,
+        payload_model: PayloadModel | None = None,
+        jitter: float = 0.02,
+        phase: float | None = None,
+        name: str | None = None,
+        seed: int = 0,
+    ):
+        if period <= 0:
+            raise CANError(f"period must be positive, got {period}")
+        if not 0.0 <= jitter < 1.0:
+            raise CANError(f"jitter fraction must be in [0, 1), got {jitter}")
+        self.can_id = can_id
+        self.period = period
+        self.jitter = jitter
+        self.payload_model = payload_model or counter_payload()
+        self.name = name or f"ecu-0x{can_id:03X}"
+        self._rng = new_rng(seed, f"sender-{can_id}-{period}")
+        self.phase = float(self._rng.uniform(0, period)) if phase is None else phase
+
+    def frames(self, until: float) -> Iterator[ScheduledFrame]:
+        sequence = 0
+        release = self.phase
+        while release < until:
+            jittered = release
+            if self.jitter:
+                jittered += float(self._rng.uniform(-self.jitter, self.jitter)) * self.period
+                jittered = max(jittered, 0.0)
+            payload = self.payload_model(sequence, self._rng)
+            frame = CANFrame(self.can_id, payload)
+            yield ScheduledFrame(jittered, frame, "R", self.name)
+            sequence += 1
+            release += self.period

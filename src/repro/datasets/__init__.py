@@ -1,0 +1,43 @@
+"""Datasets: a statistically matched synthetic Car-Hacking dataset.
+
+The paper trains on the public Car-Hacking dataset (Song, Woo & Kim
+2020), an OBD-II capture of a real vehicle with injected DoS, Fuzzy and
+spoofing attacks.  That capture cannot ship with this reproduction, so
+:mod:`repro.datasets.carhacking` regenerates its structure with the CAN
+substrate: ~26 periodic identifiers with realistic periods and payload
+dynamics, plus the dataset's exact injection mechanics (0x000 flood
+every 0.3 ms; random frames every 0.5 ms; spoofed gauges every 1 ms) in
+alternating attack windows.
+
+Files use the same CSV schema as the original, so the real dataset drops
+into every loader unchanged.
+"""
+
+from repro.datasets.carhacking import (
+    CarHackingCapture,
+    default_vehicle,
+    generate_capture,
+    generate_mixed_capture,
+)
+from repro.datasets.features import (
+    BitFeatureEncoder,
+    ByteFeatureEncoder,
+    FeatureEncoder,
+    WindowFeatureEncoder,
+)
+from repro.datasets.splits import DatasetSplits, train_val_test_split
+from repro.datasets.stats import capture_summary
+
+__all__ = [
+    "BitFeatureEncoder",
+    "ByteFeatureEncoder",
+    "CarHackingCapture",
+    "DatasetSplits",
+    "FeatureEncoder",
+    "WindowFeatureEncoder",
+    "capture_summary",
+    "default_vehicle",
+    "generate_capture",
+    "generate_mixed_capture",
+    "train_val_test_split",
+]

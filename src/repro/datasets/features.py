@@ -1,0 +1,137 @@
+"""Frame → feature-vector encoders for the per-message IDS.
+
+The paper's MLP consumes a whole CAN frame per inference ("the packet is
+copied into a FIFO style buffer ... examined by our IDS IP").  Three
+encoders are provided:
+
+* :class:`BitFeatureEncoder` — the deployed encoding: 11 identifier bits
+  + 4 DLC bits + 64 payload bits = **79 binary inputs**.  Binary inputs
+  quantise exactly (the input QuantIdentity is lossless on them) and
+  make the first hardware layer cheap, as in FINN-style accelerators.
+* :class:`ByteFeatureEncoder` — 10 normalised features (ID, DLC, 8
+  payload bytes); a compact ablation encoding.
+* :class:`WindowFeatureEncoder` — stacks the features of the last *k*
+  frames plus inter-arrival times, for block-based baselines (DCNN,
+  GRU, TCAN consume windows; see Table II "Frames" column).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.can.frame import MAX_STANDARD_ID
+from repro.can.log import CANLogRecord
+from repro.errors import DatasetError
+from repro.utils.bitops import bytes_to_bits, int_to_bits
+
+__all__ = [
+    "FeatureEncoder",
+    "BitFeatureEncoder",
+    "ByteFeatureEncoder",
+    "WindowFeatureEncoder",
+]
+
+
+class FeatureEncoder:
+    """Base interface: encode captures into ``(X, y)`` numpy arrays."""
+
+    #: Number of features produced per frame/window.
+    num_features: int
+
+    def encode_frame(self, record: CANLogRecord) -> np.ndarray:
+        """Encode one frame to a 1-D feature vector."""
+        raise NotImplementedError
+
+    def encode(self, records: Sequence[CANLogRecord]) -> tuple[np.ndarray, np.ndarray]:
+        """Encode a capture into features ``X`` (N, F) and labels ``y`` (N,).
+
+        Labels are 1 for attack ("T") frames, 0 for regular traffic.
+        """
+        if not records:
+            raise DatasetError("cannot encode an empty capture")
+        features = np.stack([self.encode_frame(record) for record in records])
+        labels = np.array([1 if record.is_attack else 0 for record in records], dtype=np.int64)
+        return features, labels
+
+
+class BitFeatureEncoder(FeatureEncoder):
+    """79 binary features: ID(11) + DLC(4) + payload(64, zero padded)."""
+
+    num_features = 11 + 4 + 64
+
+    def encode_frame(self, record: CANLogRecord) -> np.ndarray:
+        if record.can_id > MAX_STANDARD_ID:
+            raise DatasetError(f"bit encoder expects standard ids, got 0x{record.can_id:X}")
+        id_bits = int_to_bits(record.can_id, 11)
+        dlc_bits = int_to_bits(min(record.dlc, 15), 4)
+        payload = record.data + bytes(8 - len(record.data))
+        data_bits = bytes_to_bits(payload)
+        return np.concatenate([id_bits, dlc_bits, data_bits]).astype(np.float64)
+
+
+class ByteFeatureEncoder(FeatureEncoder):
+    """10 features in [0, 1]: ID/0x7FF, DLC/8 and the 8 payload bytes/255."""
+
+    num_features = 10
+
+    def encode_frame(self, record: CANLogRecord) -> np.ndarray:
+        payload = record.data + bytes(8 - len(record.data))
+        features = np.empty(10, dtype=np.float64)
+        features[0] = record.can_id / MAX_STANDARD_ID
+        features[1] = record.dlc / 8.0
+        features[2:] = np.frombuffer(payload, dtype=np.uint8) / 255.0
+        return features
+
+
+class WindowFeatureEncoder(FeatureEncoder):
+    """Sliding window of per-frame features (+ inter-arrival times).
+
+    The label of a window is the label of its newest frame, matching the
+    per-message detection objective; windows shorter than ``window``
+    (the first frames of a capture) are left-padded with zeros.
+    """
+
+    def __init__(
+        self,
+        base: FeatureEncoder | None = None,
+        window: int = 4,
+        include_interarrival: bool = True,
+        interarrival_scale: float = 0.01,
+    ):
+        if window < 1:
+            raise DatasetError(f"window must be >= 1, got {window}")
+        self.base = base if base is not None else BitFeatureEncoder()
+        self.window = window
+        self.include_interarrival = include_interarrival
+        self.interarrival_scale = interarrival_scale
+        per_frame = self.base.num_features + (1 if include_interarrival else 0)
+        self.num_features = per_frame * window
+
+    def encode_frame(self, record: CANLogRecord) -> np.ndarray:
+        raise DatasetError("WindowFeatureEncoder encodes captures, not single frames")
+
+    def encode(self, records: Sequence[CANLogRecord]) -> tuple[np.ndarray, np.ndarray]:
+        if not records:
+            raise DatasetError("cannot encode an empty capture")
+        base_features = np.stack([self.base.encode_frame(record) for record in records])
+        if self.include_interarrival:
+            times = np.array([record.timestamp for record in records])
+            gaps = np.diff(times, prepend=times[0])
+            gaps = np.clip(gaps / self.interarrival_scale, 0.0, 1.0)
+            base_features = np.concatenate([base_features, gaps[:, None]], axis=1)
+        count, per_frame = base_features.shape
+        window_x = np.zeros((count, self.window * per_frame), dtype=np.float64)
+        for offset in range(self.window):
+            # offset 0 = current frame, 1 = previous, ...
+            source = base_features[: count - offset] if offset else base_features
+            window_x[offset:, (self.window - 1 - offset) * per_frame : (self.window - offset) * per_frame] = source
+        labels = np.array([1 if record.is_attack else 0 for record in records], dtype=np.int64)
+        return window_x, labels
+
+    def encode_sequences(self, records: Sequence[CANLogRecord]) -> tuple[np.ndarray, np.ndarray]:
+        """Encode as (N, window, per-frame) sequences for recurrent models."""
+        window_x, labels = self.encode(records)
+        per_frame = window_x.shape[1] // self.window
+        return window_x.reshape(len(records), self.window, per_frame), labels

@@ -1,0 +1,102 @@
+"""Deterministic train/validation/test splitting.
+
+The IDS datasets are heavily imbalanced (attack frames are a minority of
+a capture), so splits are stratified by default: each split preserves
+the class ratio, which keeps the reported FNR comparable across runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DatasetError
+from repro.utils.rng import new_rng
+
+__all__ = ["DatasetSplits", "train_val_test_split"]
+
+
+@dataclass
+class DatasetSplits:
+    """Feature/label arrays for the three standard splits."""
+
+    x_train: np.ndarray
+    y_train: np.ndarray
+    x_val: np.ndarray
+    y_val: np.ndarray
+    x_test: np.ndarray
+    y_test: np.ndarray
+
+    @property
+    def sizes(self) -> tuple[int, int, int]:
+        return (len(self.y_train), len(self.y_val), len(self.y_test))
+
+
+def train_val_test_split(
+    features: np.ndarray,
+    labels: np.ndarray,
+    fractions: tuple[float, float, float] = (0.7, 0.15, 0.15),
+    seed: int = 0,
+    stratify: bool = True,
+) -> DatasetSplits:
+    """Shuffle and split ``(features, labels)`` into train/val/test.
+
+    Parameters
+    ----------
+    fractions:
+        Train/val/test fractions; must sum to 1 (±1e-9).
+    stratify:
+        Preserve the label ratio in every split (recommended for the
+        imbalanced IDS captures).
+    """
+    features = np.asarray(features)
+    labels = np.asarray(labels)
+    if features.shape[0] != labels.shape[0]:
+        raise DatasetError(
+            f"features ({features.shape[0]}) and labels ({labels.shape[0]}) disagree"
+        )
+    if abs(sum(fractions) - 1.0) > 1e-9:
+        raise DatasetError(f"split fractions must sum to 1, got {fractions}")
+    if features.shape[0] < 3:
+        raise DatasetError("need at least 3 samples to make 3 splits")
+
+    rng = new_rng(seed, "dataset-split")
+    count = features.shape[0]
+
+    if stratify:
+        train_idx: list[np.ndarray] = []
+        val_idx: list[np.ndarray] = []
+        test_idx: list[np.ndarray] = []
+        for value in np.unique(labels):
+            class_indices = np.flatnonzero(labels == value)
+            rng.shuffle(class_indices)
+            n = len(class_indices)
+            n_train = int(round(fractions[0] * n))
+            n_val = int(round(fractions[1] * n))
+            train_idx.append(class_indices[:n_train])
+            val_idx.append(class_indices[n_train : n_train + n_val])
+            test_idx.append(class_indices[n_train + n_val :])
+        order_train = np.concatenate(train_idx)
+        order_val = np.concatenate(val_idx)
+        order_test = np.concatenate(test_idx)
+        # Shuffle within each split so class blocks don't stay contiguous.
+        rng.shuffle(order_train)
+        rng.shuffle(order_val)
+        rng.shuffle(order_test)
+    else:
+        order = rng.permutation(count)
+        n_train = int(round(fractions[0] * count))
+        n_val = int(round(fractions[1] * count))
+        order_train = order[:n_train]
+        order_val = order[n_train : n_train + n_val]
+        order_test = order[n_train + n_val :]
+
+    return DatasetSplits(
+        x_train=features[order_train],
+        y_train=labels[order_train],
+        x_val=features[order_val],
+        y_val=labels[order_val],
+        x_test=features[order_test],
+        y_test=labels[order_test],
+    )

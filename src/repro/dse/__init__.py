@@ -1,0 +1,20 @@
+"""Design-space exploration.
+
+The paper performs two explorations before deployment: a quantisation
+bit-width sweep ("4-bit uniform quantisation achieved best performance
+in both DoS and Fuzzying attacks, and hence was chosen for deployment")
+and the folding/partitioning choices of the FINN compilation flow
+("streaming layer optimisations and partitioning were chosen ... to
+optimise the hardware IP").  This package reproduces both sweeps.
+"""
+
+from repro.dse.bitwidth import BitwidthPoint, run_bitwidth_sweep, select_deployment_point
+from repro.dse.foldingsweep import FoldingPoint, run_folding_sweep
+
+__all__ = [
+    "BitwidthPoint",
+    "FoldingPoint",
+    "run_bitwidth_sweep",
+    "run_folding_sweep",
+    "select_deployment_point",
+]

@@ -1,0 +1,68 @@
+"""Folding (PE/SIMD) sweep: throughput vs. resources for one model.
+
+Reproduces the "streaming layer optimisations and partitioning" step of
+the FINN compilation flow: for a trained model, sweep the folding
+throughput target and record the achieved initiation interval, latency
+and resource cost of each point.  The curve shows the classic staircase
+(folding halves multiply resources until layers saturate).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.finn.ipgen import compile_model
+from repro.finn.resources import ResourceEstimate
+from repro.quant.export import QNNExport
+from repro.soc.device import ZCU104
+
+__all__ = ["FoldingPoint", "run_folding_sweep", "DEFAULT_TARGETS"]
+
+DEFAULT_TARGETS = (1e4, 1e5, 5e5, 1e6, 5e6, 2e7)
+
+
+@dataclass
+class FoldingPoint:
+    """One folding sweep point."""
+
+    target_fps: float
+    achieved_fps: float
+    initiation_interval: int
+    latency_us: float
+    pe: list[int]
+    simd: list[int]
+    resources: ResourceEstimate
+    max_utilization_pct: float
+
+
+def run_folding_sweep(
+    export: QNNExport,
+    targets: tuple[float, ...] = DEFAULT_TARGETS,
+    clock_mhz: float = 100.0,
+) -> list[FoldingPoint]:
+    """Compile the model once per throughput target."""
+    if not targets:
+        raise ConfigError("folding sweep needs at least one target")
+    points = []
+    for target in sorted(targets):
+        ip = compile_model(
+            export,
+            name=f"fold-{target:g}",
+            target_fps=target,
+            clock_mhz=clock_mhz,
+            verify=False,  # identical graph every point; verified once elsewhere
+        )
+        points.append(
+            FoldingPoint(
+                target_fps=target,
+                achieved_fps=ip.throughput_fps,
+                initiation_interval=ip.pipeline.initiation_interval,
+                latency_us=1e6 * ip.latency_seconds,
+                pe=list(ip.folding.pe),
+                simd=list(ip.folding.simd),
+                resources=ip.resources,
+                max_utilization_pct=ZCU104.max_utilization(ip.resources),
+            )
+        )
+    return points

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library errors derive from :class:`ReproError`, so callers can catch a
+single exception type at API boundaries.  Subsystems raise the most
+specific subclass that applies; error messages always name the offending
+value so failures in long experiment sweeps are self-diagnosing.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """An invalid configuration value was supplied by the caller."""
+
+
+class ShapeError(ReproError):
+    """Tensor/array shapes are inconsistent for the requested operation."""
+
+
+class GradError(ReproError):
+    """Autograd misuse, e.g. backward through a non-scalar without seed."""
+
+
+class QuantError(ReproError):
+    """Invalid quantiser configuration or out-of-range integer data."""
+
+
+class CANError(ReproError):
+    """Malformed CAN frame or invalid bus configuration."""
+
+
+class DatasetError(ReproError):
+    """Dataset generation, parsing or splitting failed."""
+
+
+class CompileError(ReproError):
+    """FINN-style compilation could not transform or fold the graph."""
+
+
+class VerificationError(ReproError):
+    """Bit-exactness check between model and hardware IR failed."""
+
+
+class ResourceError(ReproError):
+    """A design does not fit the target device or folding constraints."""
+
+
+class SoCError(ReproError):
+    """SoC/driver simulation misuse (bad register, unmapped address...)."""
+
+
+class TrainingError(ReproError):
+    """Training diverged or was configured inconsistently."""

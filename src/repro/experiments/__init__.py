@@ -1,0 +1,26 @@
+"""Experiment harnesses: one module per paper artefact.
+
+==============  ==========================================================
+module          reproduces
+==============  ==========================================================
+table1          Table I — accuracy metrics vs published IDSs
+table2          Table II — per-message latency vs published IDSs
+figure1         Fig. 1 — IDS-ECUs scanning a multi-node CAN network
+latency_report  in-text 0.12 ms per-message latency breakdown
+throughput      in-text >8300 msg/s near-line-rate claim
+energy          in-text 2.09 W / 0.25 mJ / 9.12 J-on-GPU comparison
+resources       in-text <4 % utilisation claim
+dse_report      in-text bit-width DSE ("4-bit chosen")
+foldings        FINN folding optimisation trade-off
+multimodel      in-text multi-model simultaneous deployment claim
+baseline_table  trained reduced baselines on the same synthetic data
+==============  ==========================================================
+
+All harnesses share :class:`~repro.experiments.context.ExperimentContext`
+(cached capture generation, training and compilation) so a full run
+trains each detector once.
+"""
+
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+
+__all__ = ["ExperimentContext", "ExperimentSettings"]

@@ -1,0 +1,96 @@
+"""Shared experiment state: captures, trained models, compiled IPs.
+
+Most harnesses need "the trained 4-bit DoS detector" or "the compiled
+Fuzzy IP"; the context trains/compiles each configuration once and
+caches it, keyed by (attack, bits), so running every experiment in one
+session costs one training run per detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.datasets.carhacking import CarHackingCapture, generate_capture
+from repro.finn.ipgen import AcceleratorIP, compile_model
+from repro.models.qmlp import QMLPConfig
+from repro.training.pipeline import IDSModelResult, train_ids_model
+from repro.training.trainer import TrainConfig
+from repro.utils.logutil import get_logger
+from repro.utils.rng import derive_seed
+
+__all__ = ["ExperimentSettings", "ExperimentContext"]
+
+_LOG = get_logger("experiments")
+
+
+@dataclass(frozen=True)
+class ExperimentSettings:
+    """Knobs shared by every experiment harness.
+
+    Defaults are sized for benchmark runs (a ~20 s capture trains in
+    well under a minute per detector on CPU); tests use smaller values.
+    """
+
+    duration: float = 16.0
+    epochs: int = 10
+    seed: int = 2023
+    clock_mhz: float = 100.0
+    target_fps: float = 1e6
+
+
+@dataclass
+class ExperimentContext:
+    """Cached training/compilation used across experiment harnesses."""
+
+    settings: ExperimentSettings = field(default_factory=ExperimentSettings)
+    _captures: dict = field(default_factory=dict)
+    _results: dict = field(default_factory=dict)
+    _ips: dict = field(default_factory=dict)
+
+    def capture(self, attack: str) -> CarHackingCapture:
+        """The (cached) evaluation capture for one attack type.
+
+        All captures share one master capture seed, so they record the
+        *same vehicle* under different attacks — matching the real
+        dataset, where every capture comes from one car.
+        """
+        if attack not in self._captures:
+            self._captures[attack] = generate_capture(
+                attack,
+                duration=self.settings.duration,
+                seed=derive_seed(self.settings.seed, "capture"),
+            )
+        return self._captures[attack]
+
+    def trained(self, attack: str, bits: int = 4) -> IDSModelResult:
+        """The (cached) trained QMLP detector for ``attack`` at ``bits``."""
+        key = (attack, bits)
+        if key not in self._results:
+            _LOG.info("training %s detector at %d bits...", attack, bits)
+            self._results[key] = train_ids_model(
+                attack,
+                model_config=QMLPConfig(
+                    weight_bits=bits, act_bits=bits,
+                    seed=derive_seed(self.settings.seed, f"model-{attack}"),
+                ),
+                train_config=TrainConfig(
+                    epochs=self.settings.epochs,
+                    seed=derive_seed(self.settings.seed, f"train-{attack}-{bits}"),
+                ),
+                capture=self.capture(attack),
+                seed=derive_seed(self.settings.seed, f"pipeline-{attack}"),
+            )
+        return self._results[key]
+
+    def ip(self, attack: str, bits: int = 4) -> AcceleratorIP:
+        """The (cached) compiled accelerator for ``attack`` at ``bits``."""
+        key = (attack, bits)
+        if key not in self._ips:
+            result = self.trained(attack, bits)
+            self._ips[key] = compile_model(
+                result.model,
+                name=f"{attack}-{bits}bit-qmlp",
+                target_fps=self.settings.target_fps,
+                clock_mhz=self.settings.clock_mhz,
+            )
+        return self._ips[key]

@@ -1,0 +1,72 @@
+"""Experiment E8 — the bit-width design-space exploration.
+
+"Design space exploration is performed to arrive at the quantisation
+level ... we observed that 4-bit uniform quantisation achieved best
+performance in both DoS and Fuzzying attacks, and hence was chosen for
+deployment."
+
+The harness sweeps uniform bit widths, reports accuracy + hardware
+cost per point and applies the paper's selection rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dse.bitwidth import BitwidthPoint, run_bitwidth_sweep, select_deployment_point
+from repro.experiments.context import ExperimentContext
+from repro.utils.tables import Table
+
+__all__ = ["DSEResult", "run_dse", "render_dse"]
+
+
+@dataclass
+class DSEResult:
+    """Sweep points plus the selected deployment configuration."""
+
+    points: list[BitwidthPoint]
+    selected: BitwidthPoint
+    paper_selected_bits: int = 4
+
+    @property
+    def matches_paper(self) -> bool:
+        return self.selected.bits == self.paper_selected_bits
+
+
+def run_dse(
+    context: ExperimentContext,
+    bit_widths: tuple[int, ...] = (2, 3, 4, 6, 8),
+) -> DSEResult:
+    """Run the sweep with the context's budget settings."""
+    points = run_bitwidth_sweep(
+        bit_widths=bit_widths,
+        duration=context.settings.duration,
+        epochs=context.settings.epochs,
+        seed=context.settings.seed,
+        target_fps=context.settings.target_fps,
+    )
+    return DSEResult(points=points, selected=select_deployment_point(points))
+
+
+def render_dse(result: DSEResult) -> Table:
+    table = Table(
+        ["Bits (W/A)", "DoS F1", "Fuzzy F1", "Mean F1", "LUT", "DSP", "Max util", "Chosen"],
+        title=(
+            "Bit-width DSE: accuracy vs. hardware cost "
+            f"(selected: {result.selected.bits}-bit; paper selected 4-bit)"
+        ),
+    )
+    for point in result.points:
+        table.add_row(
+            [
+                f"W{point.bits}A{point.bits}",
+                f"{point.metrics['dos']['f1']:.2f}",
+                f"{point.metrics['fuzzy']['f1']:.2f}",
+                f"{point.mean_f1:.2f}",
+                f"{point.resources.lut:,.0f}",
+                f"{point.resources.dsp:.0f}",
+                f"{point.max_utilization_pct:.2f}%",
+                "<==" if point.bits == result.selected.bits else "",
+            ]
+        )
+    return table

@@ -1,0 +1,84 @@
+"""Experiment E6 — power and energy per inference.
+
+Reproduces the paper's measurement procedure: sample the board rails
+(PMBus model) while the ECU processes traffic, multiply mean power by
+per-message latency for energy per inference, and compare against the
+paper's GPU reference (9.12 J for the 8-bit QMLP on an A6000).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.datasets.features import BitFeatureEncoder
+from repro.experiments.context import ExperimentContext
+from repro.soc.ecu import IDSEnabledECU
+from repro.soc.platforms import A6000, ZYNQ_ULTRASCALE
+from repro.utils.rng import derive_seed
+from repro.utils.tables import Table
+
+__all__ = ["EnergyResult", "run_energy", "render_energy"]
+
+
+@dataclass
+class EnergyResult:
+    """Measured operating point vs. paper and GPU reference."""
+
+    mean_power_w: float
+    energy_per_inference_mj: float
+    gpu_energy_j: float
+    paper_power_w: float = 2.09
+    paper_energy_mj: float = 0.25
+    paper_gpu_energy_j: float = 9.12
+
+    @property
+    def gpu_ratio(self) -> float:
+        """How many orders of magnitude the GPU costs more."""
+        return self.gpu_energy_j / (self.energy_per_inference_mj * 1e-3)
+
+
+def run_energy(context: ExperimentContext, eval_frames: int = 4000) -> EnergyResult:
+    """Measure power/energy of the deployed DoS detector."""
+    ecu = IDSEnabledECU(
+        context.ip("dos"),
+        BitFeatureEncoder(),
+        name="energy-ecu",
+        seed=derive_seed(context.settings.seed, "energy"),
+    )
+    report = ecu.process_capture(context.capture("dos").records[:eval_frames], with_metrics=False)
+    return EnergyResult(
+        mean_power_w=report.mean_power_w,
+        energy_per_inference_mj=1e3 * report.energy_per_inference_j,
+        gpu_energy_j=A6000.energy_per_inference(),
+    )
+
+
+def render_energy(result: EnergyResult) -> Table:
+    table = Table(
+        ["Quantity", "Paper", "Measured (ours)"],
+        title="Inference power & energy (PMBus measurement during ECU operation)",
+    )
+    table.add_row(
+        ["board power", f"{result.paper_power_w:g} W", f"{result.mean_power_w:.2f} W"]
+    )
+    table.add_row(
+        [
+            "energy / inference",
+            f"{result.paper_energy_mj:g} mJ",
+            f"{result.energy_per_inference_mj:.3f} mJ",
+        ]
+    )
+    table.add_row(
+        [
+            f"8-bit QMLP on {A6000.name}",
+            f"{result.paper_gpu_energy_j:g} J",
+            f"{result.gpu_energy_j:.2f} J",
+        ]
+    )
+    table.add_row(
+        ["GPU / FPGA energy ratio", "~3.6e4", f"{result.gpu_ratio:,.0f}x"]
+    )
+    table.add_row(
+        ["platform idle power", "-", f"{ZYNQ_ULTRASCALE.idle_power_w:g} W"]
+    )
+    return table

@@ -1,0 +1,61 @@
+"""Experiment E9 — folding/partitioning trade-off of the FINN flow.
+
+Sweeps the folding throughput target for the deployed 4-bit model and
+tabulates the throughput-vs-resource staircase, the optimisation the
+paper refers to as "streaming layer optimisations and partitioning ...
+chosen during FINN compilation flow".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dse.foldingsweep import DEFAULT_TARGETS, FoldingPoint, run_folding_sweep
+from repro.experiments.context import ExperimentContext
+from repro.quant.export import export_qnn
+from repro.utils.tables import Table
+
+__all__ = ["FoldingReport", "run_foldings", "render_foldings"]
+
+
+@dataclass
+class FoldingReport:
+    """Folding sweep points for the deployed model."""
+
+    points: list[FoldingPoint]
+
+    @property
+    def resource_span(self) -> float:
+        """LUT ratio between the fastest and slowest folding."""
+        luts = [point.resources.lut for point in self.points]
+        return max(luts) / min(luts)
+
+
+def run_foldings(
+    context: ExperimentContext,
+    targets: tuple[float, ...] = DEFAULT_TARGETS,
+) -> FoldingReport:
+    """Sweep folding targets on the trained DoS model."""
+    export = export_qnn(context.trained("dos").model)
+    return FoldingReport(points=run_folding_sweep(export, targets, context.settings.clock_mhz))
+
+
+def render_foldings(report: FoldingReport) -> Table:
+    table = Table(
+        ["Target (fps)", "Achieved (fps)", "II (cyc)", "Latency (us)", "PE", "SIMD", "LUT", "Max util"],
+        title="Folding sweep: throughput target vs. hardware cost (4-bit QMLP)",
+    )
+    for point in report.points:
+        table.add_row(
+            [
+                f"{point.target_fps:g}",
+                f"{point.achieved_fps:,.0f}",
+                point.initiation_interval,
+                f"{point.latency_us:.2f}",
+                "/".join(str(p) for p in point.pe),
+                "/".join(str(s) for s in point.simd),
+                f"{point.resources.lut:,.0f}",
+                f"{point.max_utilization_pct:.2f}%",
+            ]
+        )
+    return table

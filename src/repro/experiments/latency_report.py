@@ -1,0 +1,69 @@
+"""Experiment E4 — the 0.12 ms per-message latency, decomposed.
+
+The paper reports a single number; the reproduction shows where it
+comes from: OS receive path, driver MMIO, accelerator compute, and the
+long right tail OS jitter adds.  The breakdown is the evidence for the
+paper's architectural argument — the FPGA core is microseconds, so
+coupling it to the ECU (instead of a discrete GPU box) is what makes
+per-message line-rate IDS feasible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.context import ExperimentContext
+from repro.soc.accelerator import MemoryMappedAccelerator
+from repro.soc.latency import LatencyBreakdown, LatencyModel
+from repro.utils.rng import new_rng
+from repro.utils.tables import Table
+
+__all__ = ["LatencyReport", "run_latency_report", "render_latency_report"]
+
+
+@dataclass
+class LatencyReport:
+    """Breakdown plus distribution statistics."""
+
+    breakdown: LatencyBreakdown
+    mean_ms: float
+    p50_ms: float
+    p99_ms: float
+    hw_core_us: float  # accelerator compute alone
+    paper_ms: float = 0.12
+
+
+def run_latency_report(context: ExperimentContext, samples: int = 20000) -> LatencyReport:
+    """Measure the deployed DoS IP's per-message latency distribution."""
+    ip = context.ip("dos")
+    accel = MemoryMappedAccelerator(ip)
+    trace = accel.reference_trace()
+    model = LatencyModel()
+    breakdown = model.end_to_end(trace)
+    rng = new_rng(context.settings.seed, "latency-report")
+    draws = model.sample(trace, samples, rng)
+    return LatencyReport(
+        breakdown=breakdown,
+        mean_ms=1e3 * float(draws.mean()),
+        p50_ms=1e3 * float(np.percentile(draws, 50)),
+        p99_ms=1e3 * float(np.percentile(draws, 99)),
+        hw_core_us=1e6 * ip.latency_seconds,
+    )
+
+
+def render_latency_report(report: LatencyReport) -> Table:
+    """Segment table in the style of a driver-level profile."""
+    table = Table(
+        ["Segment", "Time (us)", "Share"],
+        title=(
+            "Per-message latency breakdown "
+            f"(mean {report.mean_ms:.3f} ms, p99 {report.p99_ms:.3f} ms; "
+            f"paper reports {report.paper_ms:g} ms)"
+        ),
+    )
+    for name, microseconds, percent in report.breakdown.table_rows():
+        table.add_row([name, f"{microseconds:.1f}", f"{percent:.1f}%"])
+    table.add_row(["total (nominal)", f"{1e3 * report.breakdown.total_ms:.1f}", "100.0%"])
+    return table

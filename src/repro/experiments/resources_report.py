@@ -1,0 +1,86 @@
+"""Experiment E7 — resource utilisation ("<4 % of the device").
+
+Per-stage resource table of the deployed 4-bit IP plus utilisation
+against the XCZU7EV capacity, including the headroom argument the
+paper makes ("allowing multiple models to be executed simultaneously").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.context import ExperimentContext
+from repro.finn.resources import ResourceEstimate, wrapper_resources
+from repro.soc.device import ZCU104, FPGADevice
+from repro.utils.tables import Table
+
+__all__ = ["ResourcesResult", "run_resources", "render_resources"]
+
+
+@dataclass
+class ResourcesResult:
+    """Total/maximum utilisation of one deployed detector."""
+
+    per_stage: list[tuple[str, ResourceEstimate]]
+    total: ResourceEstimate
+    utilization_pct: dict[str, float]
+    max_utilization_pct: float
+    instances_fit: int
+    device: FPGADevice = ZCU104
+    paper_claim_pct: float = 4.0
+
+    @property
+    def meets_paper_claim(self) -> bool:
+        return self.max_utilization_pct < self.paper_claim_pct
+
+
+def run_resources(context: ExperimentContext) -> ResourcesResult:
+    """Collect per-stage and total estimates for the deployed DoS IP."""
+    ip = context.ip("dos")
+    per_stage: list[tuple[str, ResourceEstimate]] = [
+        (stage.name, stage.resources()) for stage in ip.pipeline.stages
+    ]
+    fifo_total = ResourceEstimate()
+    for fifo in ip.pipeline.fifos:
+        fifo_total = fifo_total + fifo.resources()
+    per_stage.append(("stream FIFOs", fifo_total))
+    per_stage.append(("AXI wrapper", wrapper_resources()))
+    return ResourcesResult(
+        per_stage=per_stage,
+        total=ip.resources,
+        utilization_pct=ZCU104.utilization(ip.resources),
+        max_utilization_pct=ZCU104.max_utilization(ip.resources),
+        instances_fit=ZCU104.instances_that_fit(ip.resources),
+    )
+
+
+def render_resources(result: ResourcesResult) -> Table:
+    table = Table(
+        ["Stage", "LUT", "FF", "BRAM36", "DSP"],
+        title=(
+            f"Resource estimate on {result.device.name} ({result.device.part}) — "
+            f"max utilisation {result.max_utilization_pct:.2f}% "
+            f"(paper claims <{result.paper_claim_pct:g}%)"
+        ),
+    )
+    for name, est in result.per_stage:
+        table.add_row([name, f"{est.lut:,.0f}", f"{est.ff:,.0f}", f"{est.bram36:.1f}", f"{est.dsp:.0f}"])
+    table.add_row(
+        [
+            "TOTAL",
+            f"{result.total.lut:,.0f}",
+            f"{result.total.ff:,.0f}",
+            f"{result.total.bram36:.1f}",
+            f"{result.total.dsp:.0f}",
+        ]
+    )
+    table.add_row(
+        [
+            "device utilisation",
+            f"{result.utilization_pct['lut']:.2f}%",
+            f"{result.utilization_pct['ff']:.2f}%",
+            f"{result.utilization_pct['bram36']:.2f}%",
+            f"{result.utilization_pct['dsp']:.2f}%",
+        ]
+    )
+    return table

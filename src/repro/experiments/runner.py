@@ -1,0 +1,74 @@
+"""Run every experiment and render a consolidated report.
+
+``run_all`` executes E1-E10 with a shared context and returns rendered
+tables keyed by experiment id; ``report_markdown`` assembles them into
+the document recorded in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.baseline_table import render_baseline_table, run_baseline_table
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+from repro.experiments.dse_report import render_dse, run_dse
+from repro.experiments.energy import render_energy, run_energy
+from repro.experiments.figure1 import render_figure1, run_figure1
+from repro.experiments.foldings import render_foldings, run_foldings
+from repro.experiments.latency_report import render_latency_report, run_latency_report
+from repro.experiments.multimodel import render_multimodel, run_multimodel
+from repro.experiments.resources_report import render_resources, run_resources
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.throughput import render_throughput, run_throughput
+from repro.utils.logutil import get_logger
+
+__all__ = ["run_all", "report_markdown"]
+
+_LOG = get_logger("experiments.runner")
+
+
+def run_all(
+    settings: ExperimentSettings | None = None,
+    include_dse: bool = True,
+    include_baselines: bool = True,
+) -> dict[str, str]:
+    """Execute every experiment; returns {experiment id: rendered table}.
+
+    The DSE (E8) and trained-baseline sweeps dominate runtime; switch
+    them off for a quick pass.
+    """
+    context = ExperimentContext(settings or ExperimentSettings())
+    report: dict[str, str] = {}
+
+    _LOG.info("E1: Table I accuracy comparison")
+    report["E1-table1"] = render_table1(run_table1(context)).render()
+    _LOG.info("E2: Table II latency comparison")
+    report["E2-table2"] = render_table2(run_table2(context)).render()
+    _LOG.info("E3: Figure 1 network demo")
+    report["E3-figure1"] = render_figure1(run_figure1(context)).render()
+    _LOG.info("E4: latency breakdown")
+    report["E4-latency"] = render_latency_report(run_latency_report(context)).render()
+    _LOG.info("E5: throughput / line rate")
+    report["E5-throughput"] = render_throughput(run_throughput(context)).render()
+    _LOG.info("E6: power & energy")
+    report["E6-energy"] = render_energy(run_energy(context)).render()
+    _LOG.info("E7: resource utilisation")
+    report["E7-resources"] = render_resources(run_resources(context)).render()
+    if include_dse:
+        _LOG.info("E8: bit-width DSE")
+        report["E8-dse"] = render_dse(run_dse(context)).render()
+    _LOG.info("E9: folding sweep")
+    report["E9-folding"] = render_foldings(run_foldings(context)).render()
+    _LOG.info("E10: multi-model deployment")
+    report["E10-multimodel"] = render_multimodel(run_multimodel(context)).render()
+    if include_baselines:
+        _LOG.info("EX: trained reduced baselines")
+        report["EX-baselines"] = render_baseline_table(run_baseline_table(context)).render()
+    return report
+
+
+def report_markdown(report: dict[str, str]) -> str:
+    """Wrap rendered tables into one markdown document."""
+    sections = ["# Experiment report\n"]
+    for key in sorted(report):
+        sections.append(f"## {key}\n\n```\n{report[key]}\n```\n")
+    return "\n".join(sections)

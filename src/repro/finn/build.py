@@ -1,0 +1,98 @@
+"""Lower a trained quantised network into the frontend dataflow graph.
+
+The frontend graph mirrors the QAT model's eval forward exactly, but
+with the integer structure made explicit: every hidden layer becomes
+
+    MatMulInt (integer accumulate)
+    -> ScaleBias (de-quantise: * weight_scale*input_scale, + bias)
+    -> QuantAct  (ReLU + re-quantise to the next integer grid)
+
+and the output layer becomes ``MatMulInt -> ScaleBias`` (float logits),
+optionally followed by ``ArgMax`` (FINN's LabelSelect).  The graph input
+is the **integer representation** of the feature vector; use
+:func:`quantize_input` to convert raw features the way the on-target
+driver does.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.finn.graph import (
+    ArgMaxNode,
+    DataflowGraph,
+    IntType,
+    MatMulIntNode,
+    QuantActNode,
+    ScaleBiasNode,
+    TensorInfo,
+)
+from repro.quant.export import QNNExport
+from repro.quant.quantizers import round_half_up_array
+
+__all__ = ["build_frontend_graph", "quantize_input"]
+
+
+def quantize_input(export: QNNExport, features: np.ndarray) -> np.ndarray:
+    """Convert raw feature vectors to the graph's integer input domain.
+
+    This is what the SoC driver does before handing data to the IP: it
+    applies the input quantiser (scale + clip + round) and transmits
+    integers.
+    """
+    iq = export.input_quant
+    if iq.signed:
+        qmax = 2 ** (iq.bit_width - 1) - 1
+        qmin = -qmax if iq.narrow_range else -(qmax + 1)
+    else:
+        qmin, qmax = 0, 2**iq.bit_width - 1
+    ints = np.clip(round_half_up_array(np.asarray(features, dtype=np.float64) / iq.scale), qmin, qmax)
+    return ints.astype(np.float64)
+
+
+def build_frontend_graph(export: QNNExport, with_argmax: bool = True, name: str = "qnn") -> DataflowGraph:
+    """Build the frontend :class:`DataflowGraph` from a :class:`QNNExport`.
+
+    Parameters
+    ----------
+    with_argmax:
+        Append the LabelSelect (argmax) head so the IP emits a class
+        index; disable to expose the float logits as graph output.
+    """
+    if not export.layers:
+        raise CompileError("export contains no layers")
+    iq = export.input_quant
+    graph = DataflowGraph(
+        input_info=TensorInfo(export.input_features, IntType(iq.bit_width, iq.signed)),
+        name=name,
+    )
+    input_scale = iq.scale
+    for index, layer in enumerate(export.layers):
+        matmul = MatMulIntNode(
+            f"{layer.name}_matmul",
+            layer.weight_int,
+            layer.weight_scale,
+            layer.weight_bits,
+        )
+        graph.append(matmul)
+        # Accumulator scale: weight scale times the scale of this layer's
+        # integer inputs (input quantiser or the previous activation).
+        acc_scale = np.asarray(layer.weight_scale, dtype=np.float64).reshape(-1) * input_scale
+        if acc_scale.size not in (1, layer.out_features):
+            raise CompileError(
+                f"{layer.name}: weight scale has {acc_scale.size} entries for "
+                f"{layer.out_features} channels"
+            )
+        scale_vec = np.broadcast_to(acc_scale, (layer.out_features,)).copy()
+        graph.append(ScaleBiasNode(f"{layer.name}_dequant", scale_vec, layer.bias))
+        if layer.activation is not None:
+            act = layer.activation
+            graph.append(QuantActNode(f"{layer.name}_act", act.scale, act.bit_width))
+            input_scale = act.scale
+        elif index != len(export.layers) - 1:
+            raise CompileError(f"{layer.name}: only the final layer may omit activation")
+    if with_argmax:
+        graph.append(ArgMaxNode())
+    graph.validate()
+    return graph

@@ -1,0 +1,341 @@
+"""Dataflow intermediate representation.
+
+A :class:`DataflowGraph` is a linear pipeline of nodes (sufficient for
+the MLP topologies FINN calls "streaming dataflow"), annotated with the
+integer datatype flowing over each edge.  Two node vocabularies share
+the IR:
+
+* **frontend** nodes produced by :mod:`repro.finn.build` —
+  :class:`MatMulIntNode`, :class:`AddBiasNode`, :class:`QuantActNode`;
+  value semantics are float (scaled integers), mirroring the exported
+  QAT model exactly.
+* **streamlined** nodes produced by :mod:`repro.finn.streamline` —
+  :class:`MatMulIntNode`, :class:`MultiThresholdNode`,
+  :class:`ScaleBiasNode`, :class:`ArgMaxNode`; everything up to the
+  final scale/bias is integer-only, which is what maps onto hardware.
+
+``execute`` runs the functional (untimed) semantics; it is the golden
+reference the cycle simulator and the bit-exactness verifier compare
+against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CompileError, ShapeError
+
+__all__ = [
+    "IntType",
+    "TensorInfo",
+    "Node",
+    "MatMulIntNode",
+    "QuantActNode",
+    "MultiThresholdNode",
+    "ScaleBiasNode",
+    "ArgMaxNode",
+    "PadNode",
+    "DataflowGraph",
+]
+
+
+@dataclass(frozen=True)
+class IntType:
+    """An integer datatype on a dataflow edge (FINN's ``DataType``)."""
+
+    bits: int
+    signed: bool
+
+    @property
+    def min(self) -> int:
+        return -(2 ** (self.bits - 1)) if self.signed else 0
+
+    @property
+    def max(self) -> int:
+        return 2 ** (self.bits - 1) - 1 if self.signed else 2**self.bits - 1
+
+    def contains(self, values: np.ndarray) -> bool:
+        """Whether all values fit this datatype."""
+        if values.size == 0:
+            return True
+        return bool(values.min() >= self.min and values.max() <= self.max)
+
+    @staticmethod
+    def for_range(low: int, high: int) -> "IntType":
+        """Smallest IntType covering ``[low, high]``.
+
+        >>> IntType.for_range(0, 15)
+        IntType(bits=4, signed=False)
+        >>> IntType.for_range(-3, 7).signed
+        True
+        """
+        if low > high:
+            raise CompileError(f"empty range [{low}, {high}]")
+        if low >= 0:
+            bits = max(int(np.ceil(np.log2(high + 1))) if high > 0 else 1, 1)
+            return IntType(bits, signed=False)
+        bits = 1
+        while -(2 ** (bits - 1)) > low or high > 2 ** (bits - 1) - 1:
+            bits += 1
+        return IntType(bits, signed=True)
+
+    def __str__(self) -> str:
+        return f"{'INT' if self.signed else 'UINT'}{self.bits}"
+
+
+@dataclass(frozen=True)
+class TensorInfo:
+    """Shape + datatype of a dataflow edge (per-sample, batch-free).
+
+    ``dtype=None`` marks a float edge (de-quantised logits after the
+    final :class:`ScaleBiasNode`); every other edge carries integers.
+    """
+
+    features: int
+    dtype: IntType | None
+
+    def __str__(self) -> str:
+        return f"[{self.features} x {self.dtype if self.dtype else 'FLOAT'}]"
+
+
+class Node:
+    """Base dataflow node: consumes one tensor, produces one tensor."""
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def output_info(self, input_info: TensorInfo) -> TensorInfo:
+        """Infer the output edge metadata from the input edge."""
+        raise NotImplementedError
+
+    def execute(self, values: np.ndarray) -> np.ndarray:
+        """Functional semantics on a batch (N, features) array."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.name})"
+
+
+class MatMulIntNode(Node):
+    """Integer matrix-vector product ``acc = x @ W.T``.
+
+    The weight matrix is integer; the node also records the scale the
+    weights carry so frontend execution can reproduce float semantics
+    (streamlining absorbs the scale into downstream nodes).
+    """
+
+    def __init__(self, name: str, weight_int: np.ndarray, weight_scale: np.ndarray, weight_bits: int):
+        super().__init__(name)
+        self.weight_int = np.asarray(weight_int, dtype=np.int64)
+        if self.weight_int.ndim != 2:
+            raise CompileError(f"{name}: weight must be 2-D, got {self.weight_int.shape}")
+        self.weight_scale = np.asarray(weight_scale, dtype=np.float64)
+        self.weight_bits = weight_bits
+
+    @property
+    def out_features(self) -> int:
+        return int(self.weight_int.shape[0])
+
+    @property
+    def in_features(self) -> int:
+        return int(self.weight_int.shape[1])
+
+    def accumulator_range(self, input_dtype: IntType) -> tuple[np.ndarray, np.ndarray]:
+        """Exact per-channel accumulator bounds for the input datatype."""
+        positive = np.clip(self.weight_int, 0, None)
+        negative = np.clip(self.weight_int, None, 0)
+        # x in [in_min, in_max]: max acc pairs positive weights with in_max.
+        in_min, in_max = input_dtype.min, input_dtype.max
+        acc_max = positive.sum(axis=1) * in_max + negative.sum(axis=1) * in_min
+        acc_min = positive.sum(axis=1) * in_min + negative.sum(axis=1) * in_max
+        return acc_min, acc_max
+
+    def accumulator_dtype(self, input_dtype: IntType) -> IntType:
+        """Smallest accumulator datatype (FINN's ``InferDataTypes``)."""
+        acc_min, acc_max = self.accumulator_range(input_dtype)
+        return IntType.for_range(int(acc_min.min()), int(acc_max.max()))
+
+    def output_info(self, input_info: TensorInfo) -> TensorInfo:
+        return TensorInfo(self.out_features, self.accumulator_dtype(input_info.dtype))
+
+    def execute(self, values: np.ndarray) -> np.ndarray:
+        if values.shape[-1] != self.in_features:
+            raise ShapeError(
+                f"{self.name}: expected {self.in_features} features, got {values.shape[-1]}"
+            )
+        return values @ self.weight_int.T.astype(np.float64)
+
+
+class QuantActNode(Node):
+    """Frontend ReLU + uniform quantisation.
+
+    Consumes the de-quantised (float) pre-activation and emits the
+    **integer** activation level, so downstream integer matmuls connect
+    directly.  Streamlining replaces [MatMul, ScaleBias, QuantAct] with
+    [MatMul, MultiThreshold] — same function, integer-only.
+    """
+
+    def __init__(self, name: str, scale: float, bits: int):
+        super().__init__(name)
+        self.scale = float(scale)
+        self.bits = bits
+
+    @property
+    def levels(self) -> int:
+        return 2**self.bits - 1
+
+    def output_info(self, input_info: TensorInfo) -> TensorInfo:
+        return TensorInfo(input_info.features, IntType(self.bits, signed=False))
+
+    def execute(self, values: np.ndarray) -> np.ndarray:
+        from repro.quant.quantizers import round_half_up_array
+
+        rectified = np.maximum(values, 0.0)
+        return np.clip(round_half_up_array(rectified / self.scale), 0, self.levels).astype(np.float64)
+
+
+class MultiThresholdNode(Node):
+    """Integer staircase activation (FINN's ``MultiThreshold``).
+
+    ``y[c] = sum_t (acc[c] >= thresholds[c, t])`` — an unsigned
+    ``bits``-wide output per channel.  Thresholds are ascending along
+    the step axis.
+    """
+
+    def __init__(self, name: str, thresholds: np.ndarray, bits: int):
+        super().__init__(name)
+        self.thresholds = np.asarray(thresholds, dtype=np.int64)
+        if self.thresholds.ndim != 2:
+            raise CompileError(f"{name}: thresholds must be (channels, steps)")
+        if np.any(np.diff(self.thresholds, axis=1) < 0):
+            raise CompileError(f"{name}: thresholds must be ascending per channel")
+        self.bits = bits
+        if self.thresholds.shape[1] != 2**bits - 1:
+            raise CompileError(
+                f"{name}: {self.thresholds.shape[1]} steps cannot produce "
+                f"UINT{bits} outputs (need {2**bits - 1})"
+            )
+
+    @property
+    def channels(self) -> int:
+        return int(self.thresholds.shape[0])
+
+    @property
+    def steps(self) -> int:
+        return int(self.thresholds.shape[1])
+
+    def output_info(self, input_info: TensorInfo) -> TensorInfo:
+        if input_info.features != self.channels:
+            raise CompileError(
+                f"{self.name}: {self.channels} threshold channels vs "
+                f"{input_info.features} input features"
+            )
+        return TensorInfo(self.channels, IntType(self.bits, signed=False))
+
+    def execute(self, values: np.ndarray) -> np.ndarray:
+        # (N, C) against (C, T): broadcast compare then count steps passed.
+        return (values[:, :, None] >= self.thresholds[None, :, :]).sum(axis=2).astype(np.float64)
+
+
+class ScaleBiasNode(Node):
+    """Final-layer affine de-quantisation ``y = scale * acc + bias``.
+
+    Kept exact in float64; with power-of-two scales the result is
+    bit-identical to the QAT model's logits.
+    """
+
+    def __init__(self, name: str, scale: np.ndarray, bias: np.ndarray):
+        super().__init__(name)
+        self.scale = np.asarray(scale, dtype=np.float64)
+        self.bias = np.asarray(bias, dtype=np.float64)
+
+    def output_info(self, input_info: TensorInfo) -> TensorInfo:
+        return TensorInfo(input_info.features, None)  # logits leave the integer domain
+
+    def execute(self, values: np.ndarray) -> np.ndarray:
+        return values * self.scale.reshape(1, -1) + self.bias
+
+
+class ArgMaxNode(Node):
+    """Classification head (FINN's ``LabelSelect``): index of the max."""
+
+    def __init__(self, name: str = "label_select"):
+        super().__init__(name)
+
+    def output_info(self, input_info: TensorInfo) -> TensorInfo:
+        bits = max(int(np.ceil(np.log2(max(input_info.features, 2)))), 1)
+        return TensorInfo(1, IntType(bits, signed=False))
+
+    def execute(self, values: np.ndarray) -> np.ndarray:
+        return values.argmax(axis=1).astype(np.float64).reshape(-1, 1)
+
+
+class PadNode(Node):
+    """Zero-pad the feature dimension (FINN pads to SIMD-friendly widths)."""
+
+    def __init__(self, name: str, target_features: int):
+        super().__init__(name)
+        self.target_features = target_features
+
+    def output_info(self, input_info: TensorInfo) -> TensorInfo:
+        if input_info.features > self.target_features:
+            raise CompileError(
+                f"{self.name}: cannot pad {input_info.features} down to {self.target_features}"
+            )
+        return TensorInfo(self.target_features, input_info.dtype)
+
+    def execute(self, values: np.ndarray) -> np.ndarray:
+        pad = self.target_features - values.shape[1]
+        if pad == 0:
+            return values
+        return np.pad(values, ((0, 0), (0, pad)))
+
+
+@dataclass
+class DataflowGraph:
+    """A linear pipeline of dataflow nodes plus the input edge metadata."""
+
+    input_info: TensorInfo
+    nodes: list[Node] = field(default_factory=list)
+    name: str = "dataflow"
+
+    def append(self, node: Node) -> None:
+        self.nodes.append(node)
+
+    def edge_infos(self) -> list[TensorInfo]:
+        """Tensor metadata for every edge, input first."""
+        infos = [self.input_info]
+        for node in self.nodes:
+            infos.append(node.output_info(infos[-1]))
+        return infos
+
+    def validate(self) -> None:
+        """Shape/width inference across the whole pipeline (raises on error)."""
+        self.edge_infos()
+
+    def execute(self, values: np.ndarray) -> np.ndarray:
+        """Run functional semantics on an (N, F) batch."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.ndim == 1:
+            values = values[None, :]
+        if values.shape[1] != self.input_info.features:
+            raise ShapeError(
+                f"graph expects {self.input_info.features} features, got {values.shape[1]}"
+            )
+        for node in self.nodes:
+            values = node.execute(values)
+        return values
+
+    def nodes_of_type(self, node_type: type) -> list[Node]:
+        """All nodes of a given class, in pipeline order."""
+        return [node for node in self.nodes if isinstance(node, node_type)]
+
+    def summary(self) -> str:
+        """Multi-line textual pipeline description."""
+        lines = [f"DataflowGraph {self.name!r}: input {self.input_info}"]
+        infos = self.edge_infos()
+        for node, info in zip(self.nodes, infos[1:]):
+            lines.append(f"  {type(node).__name__:<20} {node.name:<16} -> {info}")
+        return "\n".join(lines)

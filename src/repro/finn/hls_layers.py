@@ -1,0 +1,264 @@
+"""Hardware layer models: MVAUs, FIFOs and the post-processing unit.
+
+``to_hw_pipeline`` maps a streamlined dataflow graph plus a folding
+config onto the hardware units FINN generates:
+
+* :class:`MVAU` — Matrix-Vector-Activation Unit: the folded integer
+  matmul, optionally fused with its MultiThreshold activation.
+* :class:`StreamingFIFO` — inter-layer elastic buffers; depths are
+  later sized from cycle simulation (as FINN does from RTL sim).
+* :class:`PostProc` — the final ScaleBias + ArgMax stage (fixed-point
+  logit de-quantisation and LabelSelect).
+
+Every unit knows its initiation interval (cycles between samples), its
+pipeline latency (cycles from first input beat to first output beat)
+and its resource estimate.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.errors import CompileError
+from repro.finn.folding import FoldingConfig
+from repro.finn.graph import (
+    ArgMaxNode,
+    DataflowGraph,
+    MatMulIntNode,
+    MultiThresholdNode,
+    PadNode,
+    ScaleBiasNode,
+)
+from repro.finn.resources import (
+    LUT_LAYER_CONTROL,
+    FF_PER_LUT,
+    ResourceEstimate,
+    mac_luts,
+    threshold_luts,
+    uses_dsp,
+    weight_storage,
+)
+
+__all__ = ["MVAU", "StreamingFIFO", "PostProc", "HWPipeline", "to_hw_pipeline"]
+
+
+@dataclass
+class MVAU:
+    """A folded Matrix-Vector-Activation Unit."""
+
+    name: str
+    in_features: int
+    out_features: int
+    pe: int
+    simd: int
+    weight_bits: int
+    input_bits: int
+    acc_bits: int
+    act_bits: int | None  # None: raw accumulators stream out (final layer)
+    threshold_steps: int = 0
+
+    def __post_init__(self) -> None:
+        if self.out_features % self.pe:
+            raise CompileError(f"{self.name}: PE {self.pe} !| MH {self.out_features}")
+        if self.in_features % self.simd:
+            raise CompileError(f"{self.name}: SIMD {self.simd} !| MW {self.in_features}")
+
+    # -- timing --------------------------------------------------------
+    @property
+    def initiation_interval(self) -> int:
+        """Cycles between successive input samples."""
+        return (self.out_features // self.pe) * (self.in_features // self.simd)
+
+    @property
+    def pipeline_depth(self) -> int:
+        """Cycles from first input beat to first output beat."""
+        adder_tree = max(int(math.ceil(math.log2(max(self.simd, 2)))), 1)
+        return adder_tree + 4  # operand fetch, MAC, threshold, output register
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.initiation_interval + self.pipeline_depth
+
+    # -- memory ---------------------------------------------------------
+    @property
+    def weight_mem_bits(self) -> int:
+        return self.in_features * self.out_features * self.weight_bits
+
+    @property
+    def threshold_mem_bits(self) -> int:
+        return self.out_features * self.threshold_steps * self.acc_bits
+
+    # -- resources ------------------------------------------------------
+    def resources(self) -> ResourceEstimate:
+        """FINN-style analytical estimate for this unit."""
+        dsp = float(self.pe * self.simd) if uses_dsp(self.weight_bits, self.input_bits) else 0.0
+        lut = 0.0 if dsp else mac_luts(self.pe, self.simd, self.weight_bits, self.input_bits, self.acc_bits)
+        if dsp:
+            # DSP-mapped MACs still need the adder tree glue.
+            lut += self.pe * self.acc_bits
+        lutram, bram = weight_storage(self.weight_mem_bits)
+        lut += lutram
+        if self.threshold_steps:
+            lut += threshold_luts(self.pe, self.threshold_steps, self.acc_bits)
+            thr_lutram, thr_bram = weight_storage(self.threshold_mem_bits)
+            lut += thr_lutram
+            bram += thr_bram
+        lut += LUT_LAYER_CONTROL
+        return ResourceEstimate(lut=lut, ff=lut * FF_PER_LUT, bram36=bram, dsp=dsp)
+
+    def describe(self) -> str:
+        act = f"UINT{self.act_bits}" if self.act_bits else f"INT{self.acc_bits} (raw)"
+        return (
+            f"{self.name}: {self.out_features}x{self.in_features} "
+            f"PE={self.pe} SIMD={self.simd} W{self.weight_bits} -> {act}, "
+            f"II={self.initiation_interval}"
+        )
+
+
+@dataclass
+class StreamingFIFO:
+    """Inter-stage elastic buffer (depth sized from cycle simulation)."""
+
+    name: str
+    width_bits: int
+    depth: int = 2
+
+    @property
+    def initiation_interval(self) -> int:
+        return 1
+
+    @property
+    def latency_cycles(self) -> int:
+        return 1
+
+    def resources(self) -> ResourceEstimate:
+        storage_luts = self.depth * self.width_bits / 64 + 20
+        return ResourceEstimate(lut=storage_luts, ff=storage_luts * 0.8, bram36=0, dsp=0)
+
+
+@dataclass
+class PostProc:
+    """Final ScaleBias + ArgMax stage (fixed-point de-quant + LabelSelect)."""
+
+    name: str
+    channels: int
+    acc_bits: int
+
+    @property
+    def initiation_interval(self) -> int:
+        return self.channels  # one comparison per channel beat
+
+    @property
+    def latency_cycles(self) -> int:
+        return self.channels + 2
+
+    def resources(self) -> ResourceEstimate:
+        # One fixed-point multiply-add per channel beat plus the compare tree.
+        lut = self.channels * self.acc_bits + 80
+        return ResourceEstimate(lut=lut, ff=lut * FF_PER_LUT, bram36=0, dsp=0)
+
+
+@dataclass
+class HWPipeline:
+    """The ordered hardware stages of one accelerator IP."""
+
+    stages: list = field(default_factory=list)  # MVAU | PostProc
+    fifos: list[StreamingFIFO] = field(default_factory=list)
+    graph: DataflowGraph | None = None
+    folding: FoldingConfig | None = None
+
+    @property
+    def initiation_interval(self) -> int:
+        """Pipeline II: the slowest stage gates steady-state throughput."""
+        return max(stage.initiation_interval for stage in self.stages)
+
+    @property
+    def latency_cycles(self) -> int:
+        """Single-sample latency through all stages and FIFOs."""
+        stage_latency = sum(stage.latency_cycles for stage in self.stages)
+        return stage_latency + len(self.fifos)
+
+    def core_resources(self) -> ResourceEstimate:
+        """Dataflow core estimate (stages + FIFOs, no AXI wrapper)."""
+        total = ResourceEstimate()
+        for stage in self.stages:
+            total = total + stage.resources()
+        for fifo in self.fifos:
+            total = total + fifo.resources()
+        return total
+
+    def describe(self) -> str:
+        lines = [stage.describe() if isinstance(stage, MVAU) else repr(stage) for stage in self.stages]
+        lines.append(f"II={self.initiation_interval} cycles, latency={self.latency_cycles} cycles")
+        return "\n".join(lines)
+
+
+def to_hw_pipeline(graph: DataflowGraph, folding: FoldingConfig) -> HWPipeline:
+    """Map a streamlined graph + folding onto hardware units.
+
+    PadNodes are free (wiring); each MatMul takes the next folding
+    entry and fuses a following MultiThreshold; ScaleBias+ArgMax become
+    the PostProc stage.  A FIFO is placed between consecutive compute
+    stages.
+    """
+    matmuls = graph.nodes_of_type(MatMulIntNode)
+    if len(folding) != len(matmuls):
+        raise CompileError(
+            f"folding has {len(folding)} entries for {len(matmuls)} matmul layers"
+        )
+    infos = graph.edge_infos()
+    stages: list = []
+    fold_index = 0
+    nodes = graph.nodes
+    index = 0
+    while index < len(nodes):
+        node = nodes[index]
+        input_info = infos[index]
+        if isinstance(node, PadNode):
+            index += 1
+            continue
+        if isinstance(node, MatMulIntNode):
+            pe = folding.pe[fold_index]
+            simd = folding.simd[fold_index]
+            acc_dtype = node.accumulator_dtype(input_info.dtype)
+            act_bits: int | None = None
+            threshold_steps = 0
+            if index + 1 < len(nodes) and isinstance(nodes[index + 1], MultiThresholdNode):
+                threshold: MultiThresholdNode = nodes[index + 1]
+                act_bits = threshold.bits
+                threshold_steps = threshold.steps
+                index += 1
+            stages.append(
+                MVAU(
+                    name=node.name,
+                    in_features=node.in_features,
+                    out_features=node.out_features,
+                    pe=pe,
+                    simd=simd,
+                    weight_bits=node.weight_bits,
+                    input_bits=input_info.dtype.bits,
+                    acc_bits=acc_dtype.bits,
+                    act_bits=act_bits,
+                    threshold_steps=threshold_steps,
+                )
+            )
+            fold_index += 1
+            index += 1
+            continue
+        if isinstance(node, ScaleBiasNode):
+            acc_bits = infos[index].dtype.bits if infos[index].dtype else 32
+            has_argmax = index + 1 < len(nodes) and isinstance(nodes[index + 1], ArgMaxNode)
+            stages.append(PostProc(name="postproc", channels=node.scale.shape[0], acc_bits=acc_bits))
+            index += 2 if has_argmax else 1
+            continue
+        raise CompileError(f"unexpected node {type(node).__name__} in streamlined graph")
+
+    fifos = []
+    for left, right in zip(stages[:-1], stages[1:]):
+        width = 32
+        if isinstance(left, MVAU):
+            out_bits = left.act_bits if left.act_bits else left.acc_bits
+            width = left.pe * out_bits
+        fifos.append(StreamingFIFO(name=f"fifo_{left.name}_{right.name}", width_bits=width))
+    return HWPipeline(stages=stages, fifos=fifos, graph=graph, folding=folding)

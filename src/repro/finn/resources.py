@@ -1,0 +1,124 @@
+"""Analytical FPGA resource cost models.
+
+FINN reports LUT/FF/BRAM/DSP estimates for every generated layer before
+synthesis ("estimate reports"); this module reproduces that cost model
+at the same level of abstraction.  The formulas below are documented
+approximations in the style of the FINN-R analytical model (Blott et
+al., 2018): LUT-based multipliers for few-bit operands, adder trees
+sized by accumulator width, weight memory mapped to LUTRAM or BRAM by
+size, DSP slices only when operand widths justify them.
+
+Absolute constants are calibration parameters, not synthesis results;
+they are chosen to land in the envelope the paper reports for the same
+design point (a 4-bit 79-64-64-32-2 MLP consuming <4 % of an XCZU7EV).
+All constants are module-level and named so ablation studies can vary
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ResourceEstimate", "mac_luts", "weight_storage", "threshold_luts"]
+
+# --- calibration constants -------------------------------------------------
+#: LUTs per (w x a)-bit multiplier product term (LUT6-based partial products).
+LUT_PER_MULT_BIT_PRODUCT = 0.6
+#: Fixed LUTs per MAC lane (operand registers/muxing).
+LUT_PER_MAC_FIXED = 2.0
+#: LUTs per adder bit (2 bits per LUT with carry chains => 0.5/bit).
+LUT_PER_ADDER_BIT = 0.5
+#: Control/FSM overhead per hardware layer.
+LUT_LAYER_CONTROL = 120
+#: FF/LUT ratio observed in dataflow accelerators.
+FF_PER_LUT = 1.2
+#: Bits storable per LUT used as distributed RAM (SLICEM LUT6 = 64 bits).
+LUTRAM_BITS_PER_LUT = 64
+#: Weight memories at or below this size stay in LUTRAM (FINN "auto" heuristic).
+LUTRAM_THRESHOLD_BITS = 32768
+#: Usable bits per BRAM18 after width-packing inefficiency.
+BRAM18_EFFECTIVE_BITS = 18 * 1024 * 0.75
+#: Combined operand width at which a DSP48 beats LUT multipliers.
+DSP_OPERAND_WIDTH_THRESHOLD = 10
+#: AXI-lite slave + stream adapters + interrupt logic of the IP wrapper.
+WRAPPER_LUT, WRAPPER_FF, WRAPPER_BRAM36 = 600, 800, 1
+
+
+@dataclass(frozen=True)
+class ResourceEstimate:
+    """FPGA resource bundle (BRAM counted as 36 Kb blocks)."""
+
+    lut: float = 0.0
+    ff: float = 0.0
+    bram36: float = 0.0
+    dsp: float = 0.0
+
+    def __add__(self, other: "ResourceEstimate") -> "ResourceEstimate":
+        return ResourceEstimate(
+            lut=self.lut + other.lut,
+            ff=self.ff + other.ff,
+            bram36=self.bram36 + other.bram36,
+            dsp=self.dsp + other.dsp,
+        )
+
+    def scaled(self, factor: float) -> "ResourceEstimate":
+        """Uniformly scaled estimate (multi-instance deployments)."""
+        return ResourceEstimate(
+            lut=self.lut * factor,
+            ff=self.ff * factor,
+            bram36=self.bram36 * factor,
+            dsp=self.dsp * factor,
+        )
+
+    def to_dict(self) -> dict[str, float]:
+        return {"lut": self.lut, "ff": self.ff, "bram36": self.bram36, "dsp": self.dsp}
+
+    def __str__(self) -> str:
+        return (
+            f"LUT {self.lut:,.0f} | FF {self.ff:,.0f} | "
+            f"BRAM36 {self.bram36:,.1f} | DSP {self.dsp:,.0f}"
+        )
+
+
+def mac_luts(pe: int, simd: int, weight_bits: int, input_bits: int, acc_bits: int) -> float:
+    """LUTs of the PE x SIMD MAC array plus its adder tree.
+
+    Multipliers: ``weight_bits * input_bits`` partial-product terms per
+    lane at :data:`LUT_PER_MULT_BIT_PRODUCT` LUTs each.  Adder tree: one
+    ``acc_bits``-wide adder per SIMD lane merge plus the accumulator.
+    """
+    mult = pe * simd * (weight_bits * input_bits * LUT_PER_MULT_BIT_PRODUCT + LUT_PER_MAC_FIXED)
+    adders = pe * max(simd - 1, 1) * acc_bits * LUT_PER_ADDER_BIT
+    accumulator = pe * acc_bits * LUT_PER_ADDER_BIT
+    return mult + adders + accumulator
+
+
+def weight_storage(total_bits: float) -> tuple[float, float]:
+    """Map a weight memory to (LUTRAM LUTs, BRAM36 blocks).
+
+    Small memories use distributed LUTRAM; larger ones move to BRAM
+    (FINN's ``ram_style=auto``).
+    """
+    if total_bits <= LUTRAM_THRESHOLD_BITS:
+        return total_bits / LUTRAM_BITS_PER_LUT, 0.0
+    bram18 = total_bits / BRAM18_EFFECTIVE_BITS
+    return 0.0, bram18 / 2.0
+
+
+def threshold_luts(pe: int, steps: int, acc_bits: int) -> float:
+    """Comparator bank of a MultiThreshold stage.
+
+    Each PE lane compares the accumulator against ``steps`` programmable
+    thresholds in parallel: ``steps`` comparators of ``acc_bits`` width.
+    """
+    return pe * steps * acc_bits * LUT_PER_ADDER_BIT
+
+
+def uses_dsp(weight_bits: int, input_bits: int) -> bool:
+    """Whether one MAC lane maps to a DSP48 instead of LUTs."""
+    return (weight_bits + input_bits) >= DSP_OPERAND_WIDTH_THRESHOLD
+
+
+def wrapper_resources() -> ResourceEstimate:
+    """Fixed cost of the AXI IP wrapper around the dataflow core."""
+    return ResourceEstimate(lut=WRAPPER_LUT, ff=WRAPPER_FF, bram36=WRAPPER_BRAM36, dsp=0)

@@ -1,0 +1,130 @@
+"""Streamlining: turn the frontend graph into integer-only hardware form.
+
+Reproduces FINN's streamlining transformations for MLP topologies:
+
+* **AbsorbScaleBiasIntoThresholds** — collapse every
+  ``MatMulInt -> ScaleBias -> QuantAct`` triple into
+  ``MatMulInt -> MultiThreshold`` using the exact integer threshold
+  conversion of :mod:`repro.finn.thresholds`.  After this pass the only
+  float arithmetic left is the final logit de-quantisation.
+* **PadMatMulInputs** — zero-pad matmul input widths to a SIMD-friendly
+  multiple (FINN requires SIMD to divide the input width; zero columns
+  never change accumulators).
+
+Passes are pure functions producing a new graph; the originals are not
+mutated.  ``streamline`` composes them in the standard order.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.finn.graph import (
+    ArgMaxNode,
+    DataflowGraph,
+    MatMulIntNode,
+    MultiThresholdNode,
+    PadNode,
+    QuantActNode,
+    ScaleBiasNode,
+)
+from repro.finn.thresholds import compute_thresholds
+
+__all__ = ["absorb_scale_bias_into_thresholds", "pad_matmul_inputs", "streamline"]
+
+
+def absorb_scale_bias_into_thresholds(graph: DataflowGraph) -> DataflowGraph:
+    """Replace MatMul->ScaleBias->QuantAct triples with MatMul->MultiThreshold."""
+    out = DataflowGraph(input_info=graph.input_info, name=graph.name)
+    nodes = graph.nodes
+    index = 0
+    while index < len(nodes):
+        node = nodes[index]
+        is_triple = (
+            isinstance(node, MatMulIntNode)
+            and index + 2 < len(nodes)
+            and isinstance(nodes[index + 1], ScaleBiasNode)
+            and isinstance(nodes[index + 2], QuantActNode)
+        )
+        if is_triple:
+            scale_bias: ScaleBiasNode = nodes[index + 1]
+            act: QuantActNode = nodes[index + 2]
+            thresholds = compute_thresholds(
+                acc_scale=scale_bias.scale,
+                bias=scale_bias.bias,
+                act_scale=act.scale,
+                act_bits=act.bits,
+            )
+            out.append(node)
+            out.append(MultiThresholdNode(f"{node.name}_thresh", thresholds, act.bits))
+            index += 3
+        else:
+            out.append(node)
+            index += 1
+    out.validate()
+    return out
+
+
+def pad_matmul_inputs(graph: DataflowGraph, multiple: int = 8) -> DataflowGraph:
+    """Zero-pad matmul input widths up to a multiple of ``multiple``.
+
+    Inserts a :class:`PadNode` and widens the weight matrix with zero
+    columns wherever an input width is not divisible.  Padding with
+    zeros leaves every accumulator unchanged, so functional semantics
+    are untouched (the verifier checks anyway).
+    """
+    if multiple < 1:
+        raise CompileError(f"pad multiple must be >= 1, got {multiple}")
+    out = DataflowGraph(input_info=graph.input_info, name=graph.name)
+    current_features = graph.input_info.features
+    for node in graph.nodes:
+        if isinstance(node, MatMulIntNode):
+            in_features = node.in_features
+            if in_features != current_features:
+                raise CompileError(
+                    f"{node.name}: expects {in_features} features, pipeline carries {current_features}"
+                )
+            remainder = in_features % multiple
+            if remainder:
+                padded = in_features + (multiple - remainder)
+                out.append(PadNode(f"{node.name}_pad", padded))
+                widened = np.zeros((node.out_features, padded), dtype=np.int64)
+                widened[:, :in_features] = node.weight_int
+                node = MatMulIntNode(node.name, widened, node.weight_scale, node.weight_bits)
+            current_features = node.out_features
+            out.append(node)
+        else:
+            out.append(node)
+            if isinstance(node, MultiThresholdNode):
+                current_features = node.channels
+    out.validate()
+    return out
+
+
+def streamline(graph: DataflowGraph, pad_multiple: int = 8) -> DataflowGraph:
+    """FINN streamlining pipeline: absorb quant params, pad widths.
+
+    Returns a hardware-shaped graph: integer MatMul/MultiThreshold
+    pairs, a final integer MatMul, one float ScaleBias for the logits
+    and the optional ArgMax head.
+    """
+    streamlined = absorb_scale_bias_into_thresholds(graph)
+    streamlined = pad_matmul_inputs(streamlined, multiple=pad_multiple)
+    _check_hardware_shape(streamlined)
+    return streamlined
+
+
+def _check_hardware_shape(graph: DataflowGraph) -> None:
+    """Validate the node pattern hardware mapping expects."""
+    allowed = (MatMulIntNode, MultiThresholdNode, ScaleBiasNode, ArgMaxNode, PadNode)
+    for node in graph.nodes:
+        if not isinstance(node, allowed):
+            raise CompileError(
+                f"streamlined graph contains non-hardware node {type(node).__name__}"
+            )
+    scale_bias_nodes = graph.nodes_of_type(ScaleBiasNode)
+    if len(scale_bias_nodes) != 1:
+        raise CompileError(
+            f"expected exactly one ScaleBias (logit de-quant), found {len(scale_bias_nodes)}"
+        )

@@ -1,0 +1,124 @@
+"""Exact activation-to-threshold conversion.
+
+The heart of FINN streamlining: a quantised activation
+
+    y_int = clip( round_half_up( (ReLU(s_acc * acc + b)) / s_y ), 0, L )
+
+over an **integer** accumulator ``acc`` is a monotone staircase, so it
+can be implemented as ``L`` integer comparisons:
+
+    y_int = sum_{t=1..L} [ acc >= T_t ]
+
+This module computes the ``T_t`` per output channel.  The analytical
+candidate is ``T_t = ceil( (s_y * (t - 0.5) - b) / s_acc )``; because
+scales and biases are float64, the candidate is then *fixed up* against
+the actual activation function (same float operations as the QAT
+model), guaranteeing bit-exactness by construction rather than by
+numerical luck.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CompileError
+from repro.quant.quantizers import round_half_up_array
+
+__all__ = ["activation_int", "compute_thresholds"]
+
+
+def activation_int(
+    acc: np.ndarray | float,
+    acc_scale: float,
+    bias: float,
+    act_scale: float,
+    levels: int,
+) -> np.ndarray:
+    """Reference integer activation for one channel.
+
+    ``acc`` is the integer accumulator; returns the unsigned activation
+    level, using the exact float operations of the QAT eval forward.
+    """
+    value = np.maximum(acc_scale * np.asarray(acc, dtype=np.float64) + bias, 0.0)
+    return np.clip(round_half_up_array(value / act_scale), 0, levels).astype(np.int64)
+
+
+def _fixup_threshold(
+    candidate: int,
+    level: int,
+    acc_scale: float,
+    bias: float,
+    act_scale: float,
+    levels: int,
+    max_steps: int = 64,
+) -> int:
+    """Nudge ``candidate`` until it is the exact step point for ``level``.
+
+    The correct threshold T satisfies ``f(T) >= level`` and
+    ``f(T-1) < level`` where ``f`` is the (monotone) integer activation.
+    Float rounding can put the analytical candidate off by one in either
+    direction; a short walk fixes it.
+    """
+
+    def f(acc: int) -> int:
+        return int(activation_int(acc, acc_scale, bias, act_scale, levels))
+
+    steps = 0
+    while f(candidate) >= level and steps < max_steps:
+        candidate -= 1
+        steps += 1
+    steps = 0
+    while f(candidate) < level and steps < max_steps:
+        candidate += 1
+        steps += 1
+    if not (f(candidate) >= level and f(candidate - 1) < level):
+        raise CompileError(
+            f"threshold fix-up failed for level {level} "
+            f"(acc_scale={acc_scale}, bias={bias}, act_scale={act_scale})"
+        )
+    return candidate
+
+
+def compute_thresholds(
+    acc_scale: np.ndarray | float,
+    bias: np.ndarray,
+    act_scale: float,
+    act_bits: int,
+) -> np.ndarray:
+    """Per-channel integer thresholds for a quantised ReLU activation.
+
+    Parameters
+    ----------
+    acc_scale:
+        ``weight_scale * input_scale`` — scalar or per-channel array;
+        the scale of the integer accumulator.
+    bias:
+        Per-channel float bias (``(C,)``).
+    act_scale:
+        The activation quantiser's scale.
+    act_bits:
+        Activation bit width; produces ``2**act_bits - 1`` thresholds.
+
+    Returns
+    -------
+    ndarray
+        ``(C, 2**act_bits - 1)`` ascending integer thresholds.
+    """
+    bias = np.asarray(bias, dtype=np.float64)
+    channels = bias.shape[0]
+    acc_scale_arr = np.broadcast_to(np.asarray(acc_scale, dtype=np.float64).reshape(-1), (channels,))
+    if np.any(acc_scale_arr <= 0) or act_scale <= 0:
+        raise CompileError("scales must be positive for threshold conversion")
+    levels = 2**act_bits - 1
+    thresholds = np.empty((channels, levels), dtype=np.int64)
+    for channel in range(channels):
+        s_acc = float(acc_scale_arr[channel])
+        b = float(bias[channel])
+        for level in range(1, levels + 1):
+            candidate = int(np.ceil((act_scale * (level - 0.5) - b) / s_acc))
+            thresholds[channel, level - 1] = _fixup_threshold(
+                candidate, level, s_acc, b, act_scale, levels
+            )
+    if np.any(np.diff(thresholds, axis=1) < 0):
+        raise CompileError("computed thresholds are not monotone (invalid quantiser state)")
+    return thresholds

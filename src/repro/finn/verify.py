@@ -1,0 +1,115 @@
+"""Bit-exactness verification between QAT model and compiled dataflow IP.
+
+FINN verifies each compilation stage by comparing ONNX execution
+against the parent model; this module does the same for our flow.  With
+power-of-two scales (the library default) the check is **exact**: the
+streamlined integer graph must reproduce the QAT model's logits
+bit-for-bit, because every intermediate value is exactly representable
+(see :mod:`repro.quant.quantizers`).  With float scales the comparison
+falls back to a tight relative tolerance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import VerificationError
+from repro.finn.build import quantize_input
+from repro.finn.graph import ArgMaxNode, DataflowGraph
+from repro.quant.export import QNNExport
+
+__all__ = ["VerificationReport", "verify_bit_exact"]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Outcome of one verification run."""
+
+    num_samples: int
+    max_abs_logit_error: float
+    label_agreement: float  # fraction of samples with identical argmax
+    exact: bool
+
+    def __str__(self) -> str:
+        kind = "bit-exact" if self.exact else f"max |err| {self.max_abs_logit_error:.3g}"
+        return (
+            f"verified on {self.num_samples} samples: {kind}, "
+            f"label agreement {100 * self.label_agreement:.2f}%"
+        )
+
+
+def _execute_logits(graph: DataflowGraph, x_int: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+    """Run the graph, returning (logits, labels-or-None)."""
+    values = np.asarray(x_int, dtype=np.float64)
+    logits = None
+    for node in graph.nodes:
+        if isinstance(node, ArgMaxNode):
+            logits = values
+        values = node.execute(values)
+    if logits is None:  # no argmax head: the output is the logits
+        return values, None
+    return logits, values.reshape(-1).astype(np.int64)
+
+
+def verify_bit_exact(
+    export: QNNExport,
+    graph: DataflowGraph,
+    features: np.ndarray,
+    require_exact: bool = True,
+    atol: float = 1e-9,
+) -> VerificationReport:
+    """Prove the dataflow graph reproduces the QAT model.
+
+    Parameters
+    ----------
+    export:
+        The trained network export (golden reference semantics).
+    graph:
+        Frontend or streamlined graph to validate.
+    features:
+        Raw (unquantised) feature vectors, as the driver receives them.
+    require_exact:
+        Demand zero logit error (valid for power-of-two scales).  When
+        False, ``atol`` bounds the acceptable absolute error.
+
+    Raises
+    ------
+    VerificationError
+        On any logit mismatch (beyond tolerance) or label disagreement.
+    """
+    features = np.atleast_2d(np.asarray(features, dtype=np.float64))
+    reference_logits = export.execute_float(features)
+    x_int = quantize_input(export, features)
+    graph_logits, graph_labels = _execute_logits(graph, x_int)
+
+    if reference_logits.shape != graph_logits.shape:
+        raise VerificationError(
+            f"logit shape mismatch: model {reference_logits.shape} vs graph {graph_logits.shape}"
+        )
+    error = np.abs(reference_logits - graph_logits)
+    max_error = float(error.max()) if error.size else 0.0
+    exact = max_error == 0.0
+    if require_exact and not exact:
+        worst = int(np.unravel_index(error.argmax(), error.shape)[0])
+        raise VerificationError(
+            f"graph is not bit-exact: max |logit error| {max_error:.6g} "
+            f"(first worst sample index {worst})"
+        )
+    if not require_exact and max_error > atol:
+        raise VerificationError(f"logit error {max_error:.6g} exceeds tolerance {atol:g}")
+
+    reference_labels = reference_logits.argmax(axis=1)
+    labels = graph_labels if graph_labels is not None else graph_logits.argmax(axis=1)
+    agreement = float(np.mean(reference_labels == labels))
+    if agreement < 1.0:
+        raise VerificationError(
+            f"label disagreement on {(1 - agreement) * 100:.2f}% of samples"
+        )
+    return VerificationReport(
+        num_samples=features.shape[0],
+        max_abs_logit_error=max_error,
+        label_agreement=agreement,
+        exact=exact,
+    )

@@ -1,0 +1,30 @@
+"""Full-precision reference MLP.
+
+The float twin of the quantised model: identical topology, standard
+``Linear``/``ReLU`` layers.  Used (a) as the accuracy upper bound in the
+bit-width DSE and (b) as the software model whose GPU execution the
+paper quotes for the 9.12 J-per-inference energy comparison.
+"""
+
+from __future__ import annotations
+
+from repro.autograd.layers import Dropout, Linear, ReLU, Sequential
+from repro.models.qmlp import QMLPConfig
+from repro.utils.rng import derive_seed
+
+__all__ = ["build_float_mlp"]
+
+
+def build_float_mlp(config: QMLPConfig | None = None) -> Sequential:
+    """Build the unquantised topology twin of :func:`build_qmlp`."""
+    config = config or QMLPConfig()
+    layers: list = []
+    widths = config.topology
+    for index, (fan_in, fan_out) in enumerate(zip(widths[:-1], widths[1:])):
+        layer_seed = derive_seed(config.seed, f"qmlp-layer-{index}")
+        layers.append(Linear(fan_in, fan_out, seed=layer_seed))
+        if index != len(widths) - 2:
+            layers.append(ReLU())
+            if config.dropout > 0.0:
+                layers.append(Dropout(config.dropout, seed=derive_seed(config.seed, f"dropout-{index}")))
+    return Sequential(*layers)

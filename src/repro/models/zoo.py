@@ -1,0 +1,47 @@
+"""Named model configurations used across experiments.
+
+Central registry so every experiment, benchmark and example trains the
+same architectures: the deployed 4-bit DoS/Fuzzy detectors, the
+bit-width sweep used in the DSE, and the 8-bit variant whose GPU
+execution provides the paper's energy reference point.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.models.qmlp import QMLPConfig
+
+__all__ = ["ZOO", "get_config", "DSE_BIT_WIDTHS"]
+
+#: Bit widths explored in the paper's design-space exploration.
+DSE_BIT_WIDTHS = (2, 3, 4, 6, 8)
+
+
+def _qmlp(bits: int, seed: int) -> QMLPConfig:
+    return QMLPConfig(weight_bits=bits, act_bits=bits, seed=seed)
+
+
+ZOO: dict[str, QMLPConfig] = {
+    # Deployed configurations (paper Sec. I: 4-bit chosen for deployment).
+    "dos-4bit": _qmlp(4, seed=101),
+    "fuzzy-4bit": _qmlp(4, seed=202),
+    # GPU energy reference ("our 8-bit quantised MLP model on an A6000").
+    "gpu-reference-8bit": _qmlp(8, seed=303),
+}
+
+# Bit-width sweep entries for both attacks: dse-dos-2bit ... dse-fuzzy-8bit.
+for _bits in DSE_BIT_WIDTHS:
+    ZOO[f"dse-dos-{_bits}bit"] = _qmlp(_bits, seed=101)
+    ZOO[f"dse-fuzzy-{_bits}bit"] = _qmlp(_bits, seed=202)
+
+
+def get_config(name: str) -> QMLPConfig:
+    """Look up a named configuration.
+
+    >>> get_config("dos-4bit").weight_bits
+    4
+    """
+    if name not in ZOO:
+        known = ", ".join(sorted(ZOO))
+        raise ConfigError(f"unknown model config {name!r}; known: {known}")
+    return ZOO[name]

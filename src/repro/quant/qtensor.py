@@ -1,0 +1,95 @@
+"""Value-plus-quantisation-metadata container.
+
+:class:`QuantTensor` mirrors Brevitas' structure of the same name: a
+(fake-quantised) float payload annotated with scale, bit width and
+signedness, convertible to its exact integer representation.  The FINN
+compiler consumes these to know what travels over each dataflow edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import QuantError
+from repro.quant.quantizers import int_range, round_half_up_array
+
+__all__ = ["QuantTensor"]
+
+
+@dataclass
+class QuantTensor:
+    """A float array known to lie on a uniform integer grid.
+
+    Attributes
+    ----------
+    values:
+        Fake-quantised float payload, ``values = int_repr * scale``.
+    scale:
+        Positive scale; scalar or broadcastable array.
+    bit_width, signed, narrow_range:
+        The integer grid the payload lives on.
+    """
+
+    values: np.ndarray
+    scale: float | np.ndarray
+    bit_width: int
+    signed: bool
+    narrow_range: bool = False
+
+    def __post_init__(self) -> None:
+        self.values = np.asarray(self.values, dtype=np.float64)
+        if np.any(np.asarray(self.scale) <= 0):
+            raise QuantError("QuantTensor scale must be positive")
+
+    @property
+    def qmin(self) -> int:
+        return int_range(self.bit_width, self.signed, self.narrow_range)[0]
+
+    @property
+    def qmax(self) -> int:
+        return int_range(self.bit_width, self.signed, self.narrow_range)[1]
+
+    def int_repr(self, strict: bool = True) -> np.ndarray:
+        """Integer representation ``values / scale``.
+
+        With ``strict`` (default), raises :class:`QuantError` if any
+        element is off-grid or out of range — the bit-exactness invariant
+        the rest of the pipeline relies on.
+        """
+        ints = self.values / self.scale
+        rounded = round_half_up_array(ints)
+        if strict:
+            if not np.allclose(ints, rounded, atol=1e-9, rtol=0.0):
+                worst = float(np.abs(ints - rounded).max())
+                raise QuantError(f"values are off the integer grid (max error {worst:g})")
+            if rounded.size and (rounded.min() < self.qmin or rounded.max() > self.qmax):
+                raise QuantError(
+                    f"integer values [{rounded.min()}, {rounded.max()}] exceed "
+                    f"range [{self.qmin}, {self.qmax}]"
+                )
+        return rounded.astype(np.int64)
+
+    @classmethod
+    def from_int(
+        cls,
+        int_values: np.ndarray,
+        scale: float | np.ndarray,
+        bit_width: int,
+        signed: bool,
+        narrow_range: bool = False,
+    ) -> "QuantTensor":
+        """Build from integer payload (the inverse of :meth:`int_repr`)."""
+        int_values = np.asarray(int_values)
+        qmin, qmax = int_range(bit_width, signed, narrow_range)
+        if int_values.size and (int_values.min() < qmin or int_values.max() > qmax):
+            raise QuantError(
+                f"integer payload [{int_values.min()}, {int_values.max()}] exceeds "
+                f"range [{qmin}, {qmax}]"
+            )
+        return cls(int_values * np.asarray(scale), scale, bit_width, signed, narrow_range)
+
+    @property
+    def shape(self) -> tuple[int, ...]:
+        return self.values.shape

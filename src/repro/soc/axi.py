@@ -1,0 +1,102 @@
+"""AXI-lite transaction model.
+
+The IDS IP hangs off the Zynq PS as a slave memory-mapped peripheral;
+the driver touches it through ``/dev/mem``-mapped registers using the
+Xilinx run-time (XRT) low-level API.  Each userspace access is a
+single-beat AXI-lite transaction whose cost is dominated by the
+PS-to-PL path (GP port, ~300 MHz interconnect) plus the load/store and
+barrier on the A53 — of the order of **0.2-0.5 µs per access** from
+Linux userspace, which is the number the latency budget uses.
+
+The bus object counts transactions and accumulated time so latency
+reports can show exactly where the software path spends its budget.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import SoCError
+
+__all__ = ["AXIPort", "AXILiteBus"]
+
+#: Seconds per single-beat AXI-lite read/write from Linux userspace
+#: (mmap'd register, A53 @ 1.2 GHz, GP0 port). Calibration constant.
+DEFAULT_ACCESS_LATENCY = 0.35e-6
+
+
+@dataclass
+class AXIPort:
+    """One mapped slave window (base address + span in bytes)."""
+
+    name: str
+    base: int
+    span: int
+
+    def contains(self, address: int) -> bool:
+        return self.base <= address < self.base + self.span
+
+
+@dataclass
+class AXILiteBus:
+    """A PS general-purpose master port with attached slave windows.
+
+    Models only what the reproduction needs: address decode, per-access
+    latency accounting and transaction counting.  Values are 32-bit
+    words; addresses are byte addresses (word aligned).
+    """
+
+    access_latency: float = DEFAULT_ACCESS_LATENCY
+    ports: list[AXIPort] = field(default_factory=list)
+    reads: int = 0
+    writes: int = 0
+    busy_seconds: float = 0.0
+    _memory: dict[int, int] = field(default_factory=dict)
+
+    def map_port(self, name: str, base: int, span: int) -> AXIPort:
+        """Attach a slave window; overlapping windows are rejected."""
+        if base % 4 or span % 4:
+            raise SoCError(f"port {name}: base/span must be word aligned")
+        new_port = AXIPort(name, base, span)
+        for port in self.ports:
+            if port.base < base + span and base < port.base + port.span:
+                raise SoCError(f"port {name} overlaps {port.name}")
+        self.ports.append(new_port)
+        return new_port
+
+    def _decode(self, address: int) -> AXIPort:
+        if address % 4:
+            raise SoCError(f"unaligned AXI-lite access at 0x{address:08X}")
+        for port in self.ports:
+            if port.contains(address):
+                return port
+        raise SoCError(f"AXI decode error: no slave at 0x{address:08X}")
+
+    def write(self, address: int, value: int) -> None:
+        """Single-beat write (32-bit)."""
+        self._decode(address)
+        if not 0 <= value < 2**32:
+            raise SoCError(f"AXI write value 0x{value:X} exceeds 32 bits")
+        self._memory[address] = value
+        self.writes += 1
+        self.busy_seconds += self.access_latency
+
+    def read(self, address: int) -> int:
+        """Single-beat read (32-bit)."""
+        self._decode(address)
+        self.reads += 1
+        self.busy_seconds += self.access_latency
+        return self._memory.get(address, 0)
+
+    # Back-door access for device models (no latency, no counting).
+    def poke(self, address: int, value: int) -> None:
+        """Device-side register update (status/result registers)."""
+        self._memory[address] = value & 0xFFFFFFFF
+
+    def peek(self, address: int) -> int:
+        """Device-side register inspection."""
+        return self._memory.get(address, 0)
+
+    @property
+    def transactions(self) -> int:
+        return self.reads + self.writes

@@ -1,0 +1,86 @@
+"""FPGA device resource databases.
+
+The paper deploys on a ZCU104 evaluation board (Zynq UltraScale+
+XCZU7EV-2FFVC1156).  Resource totals below are the published device
+capacities used for the "<4 % of resources" utilisation claims; a few
+other parts common in the CAN-IDS literature are included so the DSE
+harness can report portability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ResourceError
+from repro.finn.resources import ResourceEstimate
+
+__all__ = ["FPGADevice", "ZCU104", "DEVICES"]
+
+
+@dataclass(frozen=True)
+class FPGADevice:
+    """Programmable-logic capacity of one device."""
+
+    name: str
+    part: str
+    lut: int
+    ff: int
+    bram36: int
+    dsp: int
+    uram: int = 0
+
+    def utilization(self, resources: ResourceEstimate) -> dict[str, float]:
+        """Percent utilisation per resource class.
+
+        >>> ZCU104.utilization(ResourceEstimate(lut=2304))["lut"]
+        1.0
+        """
+        return {
+            "lut": 100.0 * resources.lut / self.lut,
+            "ff": 100.0 * resources.ff / self.ff,
+            "bram36": 100.0 * resources.bram36 / self.bram36,
+            "dsp": 100.0 * resources.dsp / self.dsp,
+        }
+
+    def max_utilization(self, resources: ResourceEstimate) -> float:
+        """Worst resource-class utilisation (the binding constraint)."""
+        return max(self.utilization(resources).values())
+
+    def check_fits(self, resources: ResourceEstimate, margin: float = 1.0) -> None:
+        """Raise :class:`ResourceError` if the design exceeds ``margin`` x capacity."""
+        for kind, percent in self.utilization(resources).items():
+            if percent > 100.0 * margin:
+                raise ResourceError(
+                    f"{self.name}: {kind} over capacity ({percent:.1f}% > {100 * margin:.0f}%)"
+                )
+
+    def instances_that_fit(self, resources: ResourceEstimate, margin: float = 0.9) -> int:
+        """How many copies of a design fit (the multi-IDS deployment claim)."""
+        worst = self.max_utilization(resources)
+        if worst <= 0:
+            raise ResourceError("design reports zero resource usage")
+        return int((100.0 * margin) // worst)
+
+
+#: The paper's target: ZCU104 board, XCZU7EV device.
+ZCU104 = FPGADevice(
+    name="ZCU104",
+    part="XCZU7EV-2FFVC1156",
+    lut=230_400,
+    ff=460_800,
+    bram36=312,
+    dsp=1_728,
+    uram=96,
+)
+
+#: Smaller hybrid FPGA used in the authors' earlier FPL'22 work.
+PYNQ_Z2 = FPGADevice(name="PYNQ-Z2", part="XC7Z020-1CLG400C", lut=53_200, ff=106_400, bram36=140, dsp=220)
+
+#: Larger UltraScale+ evaluation platform.
+ZCU102 = FPGADevice(name="ZCU102", part="XCZU9EG-2FFVB1156", lut=274_080, ff=548_160, bram36=912, dsp=2_520)
+
+DEVICES: dict[str, FPGADevice] = {
+    "zcu104": ZCU104,
+    "pynq-z2": PYNQ_Z2,
+    "zcu102": ZCU102,
+}

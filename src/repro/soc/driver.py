@@ -1,0 +1,83 @@
+"""PYNQ-style driver facade.
+
+The paper runs "a Linux operating system (from the PYNQ image) with
+low-level Xilinx run-time tools integrated" and drives the IP through
+the FINN-generated APIs.  This module offers the same programming
+model: load an ``Overlay`` (the bitstream), look up the IP by name, and
+call it — so the examples read like PYNQ notebooks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import SoCError
+from repro.finn.ipgen import AcceleratorIP
+from repro.soc.accelerator import MemoryMappedAccelerator
+from repro.soc.axi import AXILiteBus
+
+__all__ = ["Overlay"]
+
+
+class Overlay:
+    """A "programmed bitstream" holding one or more accelerator IPs.
+
+    >>> # doctest-style sketch (see examples/ for runnable code):
+    >>> # overlay = Overlay({"dos_ids": dos_ip, "fuzzy_ids": fuzzy_ip})
+    >>> # label = overlay.dos_ids.classify(features)
+    """
+
+    _RESERVED = {"bus", "ip_dict", "_cores"}
+
+    def __init__(self, ips: dict[str, AcceleratorIP], bus: AXILiteBus | None = None):
+        if not ips:
+            raise SoCError("Overlay needs at least one IP core")
+        self.bus = bus if bus is not None else AXILiteBus()
+        self._cores: dict[str, _BoundIP] = {}
+        base = 0xA000_0000
+        for name, ip in ips.items():
+            if name in self._RESERVED or not name.isidentifier():
+                raise SoCError(f"invalid IP name {name!r}")
+            wrapped = MemoryMappedAccelerator(ip, bus=self.bus, base_address=base)
+            self._cores[name] = _BoundIP(name, wrapped)
+            base += 0x0001_0000
+
+    def __getattr__(self, name: str):
+        cores = object.__getattribute__(self, "_cores")
+        if name in cores:
+            return cores[name]
+        raise AttributeError(f"overlay has no IP named {name!r}")
+
+    @property
+    def ip_dict(self) -> dict[str, dict]:
+        """PYNQ-style metadata map of the loaded cores."""
+        return {
+            name: {
+                "phys_addr": core.mmio.base,
+                "addr_range": core.mmio.port.span,
+                "type": "finn-ids-accelerator",
+                **core.mmio.ip.to_dict(),
+            }
+            for name, core in self._cores.items()
+        }
+
+
+class _BoundIP:
+    """One IP as exposed on the overlay (thin convenience wrapper)."""
+
+    def __init__(self, name: str, mmio: MemoryMappedAccelerator):
+        self.name = name
+        self.mmio = mmio
+
+    def classify(self, features: np.ndarray) -> int:
+        """Single-frame classification through the full driver protocol."""
+        label, _ = self.mmio.infer(np.asarray(features))
+        return label
+
+    def classify_batch(self, features: np.ndarray) -> np.ndarray:
+        """Batched functional classification."""
+        return self.mmio.run_batch(features)
+
+    def register_read(self, offset: int) -> int:
+        """Raw register access (debug), PYNQ ``mmio.read`` style."""
+        return self.mmio.bus.read(self.mmio.base + offset)

@@ -1,0 +1,70 @@
+"""The receive-side message FIFO.
+
+"the packet is copied into a FIFO style buffer capturing a time-series
+of messages, which is examined by our IDS IP" — this is that buffer: a
+bounded ring of captured frames between the CAN interface and the
+accelerator, with overflow accounting so saturation during DoS floods
+is observable rather than silent.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+from repro.errors import SoCError
+
+__all__ = ["RxFIFO"]
+
+T = TypeVar("T")
+
+
+@dataclass
+class RxFIFO(Generic[T]):
+    """Bounded FIFO with drop-oldest overflow policy.
+
+    Drop-oldest matches the hardware buffer the paper describes: the
+    IDS always sees the most recent traffic window; old unprocessed
+    frames age out.
+    """
+
+    capacity: int = 64
+    _queue: deque = field(default_factory=deque)
+    pushed: int = 0
+    popped: int = 0
+    dropped: int = 0
+
+    def __post_init__(self) -> None:
+        if self.capacity < 1:
+            raise SoCError(f"FIFO capacity must be >= 1, got {self.capacity}")
+
+    def push(self, item: T) -> None:
+        """Insert an item, evicting the oldest when full."""
+        if len(self._queue) >= self.capacity:
+            self._queue.popleft()
+            self.dropped += 1
+        self._queue.append(item)
+        self.pushed += 1
+
+    def pop(self) -> T:
+        """Remove and return the oldest item."""
+        if not self._queue:
+            raise SoCError("pop from empty RxFIFO")
+        self.popped += 1
+        return self._queue.popleft()
+
+    def peek_window(self, count: int) -> list[T]:
+        """The newest ``count`` items, oldest first (time-series window)."""
+        if count < 1:
+            raise SoCError(f"window size must be >= 1, got {count}")
+        items = list(self._queue)
+        return items[-count:]
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    @property
+    def occupancy(self) -> float:
+        """Fill level in [0, 1]."""
+        return len(self._queue) / self.capacity

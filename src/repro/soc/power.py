@@ -1,0 +1,134 @@
+"""Board power model and PMBus-style measurement.
+
+The paper measures 2.09 W "directly from the device's power rails
+(using the PYNQ-PMBus package) while performing inference and other
+tasks on the ECU (with Linux OS)", giving 0.25 mJ per inference at
+0.12 ms.  This module reproduces both the *measurement mechanism* (a
+rail sampler with realistic noise, integrated over a workload) and the
+*power composition* (PS running Linux + the driver loop, PL static, PL
+dynamic scaled by the deployed design's resources and clock).
+
+Component constants are calibration parameters chosen to land the
+deployed configuration at the paper's operating point; they are named
+and documented so the multi-model deployment experiment can scale them
+honestly (dynamic power grows with instantiated logic, the PS/Linux
+share does not).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import SoCError
+from repro.finn.resources import ResourceEstimate
+
+__all__ = ["PowerModel", "PMBusSampler", "PowerReport", "energy_per_inference"]
+
+# --- calibration constants (watts) -----------------------------------------
+#: PS domain: quad A53 with Linux plus the single-core IDS driver loop.
+PS_ACTIVE_W = 1.45
+#: Board overhead visible on the monitored rails (regulators, clocking).
+BOARD_MISC_W = 0.28
+#: PL static leakage of the XCZU7EV at nominal temperature.
+PL_STATIC_W = 0.31
+# Dynamic power coefficients at 100 MHz reference clock.
+W_PER_LUT = 0.9e-6
+W_PER_FF = 0.3e-6
+W_PER_BRAM36 = 0.15e-3
+W_PER_DSP = 0.6e-3
+REFERENCE_CLOCK_HZ = 100e6
+
+
+@dataclass
+class PowerModel:
+    """Composable board power: PS + PL static + per-design PL dynamic."""
+
+    ps_active_w: float = PS_ACTIVE_W
+    board_misc_w: float = BOARD_MISC_W
+    pl_static_w: float = PL_STATIC_W
+
+    def pl_dynamic_w(self, resources: ResourceEstimate, clock_hz: float = REFERENCE_CLOCK_HZ) -> float:
+        """Dynamic PL power of one deployed design at ``clock_hz``."""
+        if clock_hz <= 0:
+            raise SoCError(f"clock must be positive, got {clock_hz}")
+        base = (
+            resources.lut * W_PER_LUT
+            + resources.ff * W_PER_FF
+            + resources.bram36 * W_PER_BRAM36
+            + resources.dsp * W_PER_DSP
+        )
+        return base * (clock_hz / REFERENCE_CLOCK_HZ)
+
+    def total_w(
+        self,
+        resources: ResourceEstimate | None = None,
+        clock_hz: float = REFERENCE_CLOCK_HZ,
+        instances: int = 1,
+    ) -> float:
+        """Board power with ``instances`` copies of the design active."""
+        dynamic = self.pl_dynamic_w(resources, clock_hz) * instances if resources else 0.0
+        return self.ps_active_w + self.board_misc_w + self.pl_static_w + dynamic
+
+
+@dataclass(frozen=True)
+class PowerReport:
+    """Outcome of a PMBus measurement window."""
+
+    mean_w: float
+    std_w: float
+    num_samples: int
+    duration_s: float
+
+    @property
+    def energy_j(self) -> float:
+        """Total energy over the measurement window."""
+        return self.mean_w * self.duration_s
+
+
+@dataclass
+class PMBusSampler:
+    """Rail sampler mimicking the PYNQ-PMBus measurement flow.
+
+    The ZCU104's INA226 monitors sample at a few hundred Hz; readings
+    carry quantisation + regulator noise.  ``measure`` integrates the
+    modelled board power over a window with that noise applied, which
+    is how the paper's 2.09 W figure was obtained.
+    """
+
+    model: PowerModel = field(default_factory=PowerModel)
+    sample_rate_hz: float = 200.0
+    noise_fraction: float = 0.01
+
+    def measure(
+        self,
+        duration_s: float,
+        rng: np.random.Generator,
+        resources: ResourceEstimate | None = None,
+        clock_hz: float = REFERENCE_CLOCK_HZ,
+        instances: int = 1,
+    ) -> PowerReport:
+        """Sample board power for ``duration_s`` seconds (simulated)."""
+        if duration_s <= 0:
+            raise SoCError(f"duration must be positive, got {duration_s}")
+        true_power = self.model.total_w(resources, clock_hz, instances)
+        count = max(int(duration_s * self.sample_rate_hz), 2)
+        samples = true_power * (1.0 + self.noise_fraction * rng.standard_normal(count))
+        return PowerReport(
+            mean_w=float(samples.mean()),
+            std_w=float(samples.std()),
+            num_samples=count,
+            duration_s=duration_s,
+        )
+
+
+def energy_per_inference(power_w: float, latency_s: float) -> float:
+    """Joules per inference at a given board power and per-message latency.
+
+    >>> round(energy_per_inference(2.09, 0.12e-3) * 1e3, 3)  # mJ
+    0.251
+    """
+    if power_w <= 0 or latency_s <= 0:
+        raise SoCError("power and latency must be positive")
+    return power_w * latency_s

@@ -1,0 +1,97 @@
+"""Model persistence: save/load trained detectors as JSON artefacts.
+
+A checkpoint bundles the :class:`~repro.models.qmlp.QMLPConfig`, the
+full parameter/observer state and the recorded test metrics, so a
+deployed detector can be rebuilt (and recompiled to a bit-identical
+accelerator) without retraining.  JSON keeps artefacts diffable and
+dependency-free; weights are small (the deployed model is ~11 k
+parameters).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from repro.autograd.layers import Sequential
+from repro.errors import ConfigError
+from repro.models.qmlp import QMLPConfig, build_qmlp
+from repro.utils.serialization import from_json_file, to_json_file
+
+__all__ = ["save_checkpoint", "load_checkpoint", "CHECKPOINT_FORMAT_VERSION"]
+
+CHECKPOINT_FORMAT_VERSION = 1
+
+
+def save_checkpoint(
+    model: Sequential,
+    config: QMLPConfig,
+    path: str | Path,
+    attack: str | None = None,
+    metrics: dict[str, float] | None = None,
+) -> Path:
+    """Persist a trained quantised model to ``path`` (JSON).
+
+    Parameters
+    ----------
+    model:
+        The trained module (its ``state_dict`` includes quantiser
+        observer ranges, so inference scales restore exactly).
+    config:
+        The architecture the model was built from.
+    attack, metrics:
+        Optional provenance recorded alongside the weights.
+    """
+    payload = {
+        "format_version": CHECKPOINT_FORMAT_VERSION,
+        "config": {
+            "input_features": config.input_features,
+            "hidden": list(config.hidden),
+            "num_classes": config.num_classes,
+            "weight_bits": config.weight_bits,
+            "act_bits": config.act_bits,
+            "input_bits": config.input_bits,
+            "dropout": config.dropout,
+            "scale_mode": config.scale_mode,
+            "seed": config.seed,
+        },
+        "state": {key: value.tolist() for key, value in model.state_dict().items()},
+        "attack": attack,
+        "metrics": metrics or {},
+    }
+    return to_json_file(payload, path)
+
+
+def load_checkpoint(path: str | Path) -> tuple[Sequential, QMLPConfig, dict]:
+    """Rebuild a model from a checkpoint written by :func:`save_checkpoint`.
+
+    Returns ``(model, config, provenance)`` with the model in eval mode;
+    its predictions (and any accelerator compiled from it) are
+    bit-identical to the saved one.
+    """
+    payload = from_json_file(path)
+    version = payload.get("format_version")
+    if version != CHECKPOINT_FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported checkpoint version {version!r} "
+            f"(expected {CHECKPOINT_FORMAT_VERSION})"
+        )
+    raw = payload["config"]
+    config = QMLPConfig(
+        input_features=int(raw["input_features"]),
+        hidden=tuple(int(h) for h in raw["hidden"]),
+        num_classes=int(raw["num_classes"]),
+        weight_bits=int(raw["weight_bits"]),
+        act_bits=int(raw["act_bits"]),
+        input_bits=int(raw["input_bits"]),
+        dropout=float(raw["dropout"]),
+        scale_mode=str(raw["scale_mode"]),
+        seed=int(raw["seed"]),
+    )
+    model = build_qmlp(config)
+    state = {key: np.asarray(value, dtype=np.float64) for key, value in payload["state"].items()}
+    model.load_state_dict(state)
+    model.eval()
+    provenance = {"attack": payload.get("attack"), "metrics": payload.get("metrics", {})}
+    return model, config, provenance

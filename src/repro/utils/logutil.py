@@ -1,0 +1,30 @@
+"""Library logging setup.
+
+Experiment harnesses log progress (epochs, sweep points, table rows) via
+standard :mod:`logging`; the library never prints directly except in the
+``render``/report functions that exist to produce human output.
+"""
+
+from __future__ import annotations
+
+import logging
+
+__all__ = ["get_logger"]
+
+_FORMAT = "%(asctime)s %(name)s %(levelname)s: %(message)s"
+
+
+def get_logger(name: str, level: int = logging.INFO) -> logging.Logger:
+    """Return a namespaced logger configured once per process.
+
+    All loggers live under the ``repro`` namespace so applications can
+    silence or redirect the whole library with one handler.
+    """
+    root = logging.getLogger("repro")
+    if not root.handlers:
+        handler = logging.StreamHandler()
+        handler.setFormatter(logging.Formatter(_FORMAT, datefmt="%H:%M:%S"))
+        root.addHandler(handler)
+        root.setLevel(level)
+    qualified = name if name.startswith("repro") else f"repro.{name}"
+    return logging.getLogger(qualified)

@@ -1,0 +1,52 @@
+"""JSON (de)serialisation helpers with numpy support.
+
+Models, dataset captures and experiment results are persisted as JSON so
+artifacts diff cleanly in version control.  numpy scalars/arrays are
+converted to plain Python structures on the way out; the loaders return
+plain dicts (callers reconstruct arrays where needed).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+__all__ = ["to_jsonable", "to_json_file", "from_json_file"]
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert numpy containers/scalars into JSON-safe values."""
+    if isinstance(obj, dict):
+        return {str(key): to_jsonable(value) for key, value in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [to_jsonable(value) for value in obj]
+    if isinstance(obj, np.ndarray):
+        return to_jsonable(obj.tolist())
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, (np.bool_,)):
+        return bool(obj)
+    if isinstance(obj, Path):
+        return str(obj)
+    return obj
+
+
+def to_json_file(obj: Any, path: str | Path, indent: int = 2) -> Path:
+    """Serialise ``obj`` to ``path`` as JSON, creating parent directories."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(obj), handle, indent=indent, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def from_json_file(path: str | Path) -> Any:
+    """Load a JSON file written by :func:`to_json_file`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        return json.load(handle)

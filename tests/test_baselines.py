@@ -1,0 +1,185 @@
+"""Tests for published tables and the reduced baseline implementations."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import evaluate_baseline, id_grid_windows
+from repro.baselines.dcnn import DCNNBaseline, build_dcnn
+from repro.baselines.mth import DecisionTree, MTHBaseline, RandomForest
+from repro.baselines.published import (
+    PAPER_QMLP_ACCURACY,
+    PAPER_QMLP_LATENCY,
+    PUBLISHED_ACCURACY,
+    PUBLISHED_LATENCY,
+)
+from repro.baselines.recurrent import GRUBaseline, GRUCell, LSTMBaseline, LSTMCell
+from repro.baselines.tcan import TCANBaseline
+from repro.datasets.features import BitFeatureEncoder, WindowFeatureEncoder
+from repro.errors import DatasetError, TrainingError
+
+
+class TestPublishedTables:
+    def test_table1_five_models_per_attack(self):
+        for attack in ("dos", "fuzzy"):
+            rows = [r for r in PUBLISHED_ACCURACY if r.attack == attack]
+            assert {r.model for r in rows} == {"DCNN", "MLIDS", "NovelADS", "TCAN-IDS", "GRU"}
+
+    def test_paper_qmlp_rows_match_paper(self):
+        dos = PAPER_QMLP_ACCURACY["dos"]
+        assert (dos.precision, dos.recall, dos.f1, dos.fnr) == (99.99, 99.99, 99.99, 0.01)
+        fuzzy = PAPER_QMLP_ACCURACY["fuzzy"]
+        assert (fuzzy.precision, fuzzy.recall, fuzzy.f1, fuzzy.fnr) == (99.68, 99.93, 99.80, 0.07)
+
+    def test_table2_rows_and_platforms(self):
+        models = {r.model: r for r in PUBLISHED_LATENCY}
+        assert models["MTH-IDS"].latency_ms == 0.574
+        assert models["MTH-IDS"].platform == "Raspberry Pi 3"
+        assert models["GRU"].frames == "5000 CAN frames"
+
+    def test_per_frame_normalisation(self):
+        gru = next(r for r in PUBLISHED_LATENCY if r.model == "GRU")
+        assert gru.per_frame_ms == pytest.approx(890.0 / 5000)
+        mth = next(r for r in PUBLISHED_LATENCY if r.model == "MTH-IDS")
+        assert mth.per_frame_ms == pytest.approx(0.574)
+
+    def test_paper_latency_headline(self):
+        assert PAPER_QMLP_LATENCY.latency_ms == 0.12
+        mth = next(r for r in PUBLISHED_LATENCY if r.model == "MTH-IDS")
+        assert mth.latency_ms / PAPER_QMLP_LATENCY.latency_ms == pytest.approx(4.78, abs=0.05)
+
+
+def _separable(rng, n=600, f=10):
+    X = rng.random((n, f))
+    y = (X[:, 0] > 0.5).astype(int)
+    return X, y
+
+
+class TestDecisionTree:
+    def test_learns_threshold_rule(self, rng):
+        X, y = _separable(rng)
+        tree = DecisionTree(max_depth=3)
+        tree.fit(X, y)
+        assert (tree.predict(X) == y).mean() > 0.99
+
+    def test_depth_cap_respected(self, rng):
+        X = rng.random((400, 5))
+        y = rng.integers(0, 2, size=400)
+        tree = DecisionTree(max_depth=3)
+        tree.fit(X, y)
+        assert tree.depth() <= 3
+
+    def test_pure_node_becomes_leaf(self):
+        X = np.array([[0.0], [1.0]])
+        tree = DecisionTree()
+        tree.fit(X, np.array([1, 1]))
+        assert tree.depth() == 0
+
+    def test_predict_before_fit(self):
+        with pytest.raises(TrainingError):
+            DecisionTree().predict(np.zeros((1, 2)))
+
+    def test_probabilities_sum_to_one(self, rng):
+        X, y = _separable(rng)
+        tree = DecisionTree(max_depth=4)
+        tree.fit(X, y)
+        probs = tree.predict_proba(X)
+        np.testing.assert_allclose(probs.sum(axis=1), 1.0)
+
+    def test_deterministic(self, rng):
+        X, y = _separable(rng)
+        t1, t2 = DecisionTree(seed=3), DecisionTree(seed=3)
+        t1.fit(X, y)
+        t2.fit(X, y)
+        np.testing.assert_array_equal(t1.predict(X), t2.predict(X))
+
+    def test_bad_shapes_rejected(self):
+        with pytest.raises(TrainingError):
+            DecisionTree().fit(np.zeros(5), np.zeros(5))
+
+
+class TestForestAndMTH:
+    def test_forest_learns(self, rng):
+        X, y = _separable(rng)
+        forest = RandomForest(n_estimators=5, max_depth=4, seed=1)
+        forest.fit(X, y)
+        assert (forest.predict(X) == y).mean() > 0.98
+
+    def test_mth_ensemble_learns(self, rng):
+        X, y = _separable(rng)
+        mth = MTHBaseline(seed=1)
+        mth.fit(X, y)
+        assert (mth.predict(X) == y).mean() > 0.98
+
+    def test_mth_predict_before_fit(self):
+        with pytest.raises(TrainingError):
+            MTHBaseline().predict(np.zeros((1, 2)))
+
+    def test_mth_on_dos_bits(self, dos_capture):
+        X, y = BitFeatureEncoder().encode(dos_capture.records[:3000])
+        result = evaluate_baseline(MTHBaseline(seed=1), X, y, "dos", seed=1)
+        assert result.metrics["f1"] > 99.0  # DoS is separable on the ID bits
+
+
+class TestIdGridWindows:
+    def test_shapes_and_labels(self, dos_capture):
+        X, y = id_grid_windows(dos_capture.records[:200], window=29)
+        assert X.shape == (172, 1, 32, 16)
+        assert set(np.unique(X)) <= {0.0, 1.0}
+        assert set(np.unique(y)) <= {0, 1}
+
+    def test_block_label_any_attack(self, dos_capture):
+        records = dos_capture.records[:200]
+        X, y = id_grid_windows(records, window=29)
+        flags = np.array([r.is_attack for r in records])
+        for i in range(len(y)):
+            assert y[i] == int(flags[i : i + 29].any())
+
+    def test_too_few_frames(self, dos_capture):
+        with pytest.raises(DatasetError):
+            id_grid_windows(dos_capture.records[:10], window=29)
+
+    def test_pad_too_small(self, dos_capture):
+        with pytest.raises(DatasetError):
+            id_grid_windows(dos_capture.records[:100], window=29, pad_to=(16, 16))
+
+
+class TestNeuralBaselines:
+    def test_dcnn_structure(self):
+        model = build_dcnn((32, 16), seed=1)
+        from repro.autograd.tensor import Tensor
+
+        out = model(Tensor(np.zeros((2, 1, 32, 16))))
+        assert out.shape == (2, 2)
+
+    def test_dcnn_learns_dos_grids(self, dos_capture):
+        X, y = id_grid_windows(dos_capture.records[:1500], window=29)
+        result = evaluate_baseline(DCNNBaseline(epochs=2, seed=1), X, y, "dos", seed=1)
+        assert result.metrics["f1"] > 95.0
+
+    def test_gru_cell_shapes(self, rng):
+        from repro.autograd.tensor import Tensor
+
+        cell = GRUCell(8, 16, seed=1)
+        h = cell(Tensor(rng.random((4, 8))), Tensor(np.zeros((4, 16))))
+        assert h.shape == (4, 16)
+        assert np.abs(h.data).max() <= 1.0  # tanh/sigmoid bounded
+
+    def test_lstm_cell_shapes(self, rng):
+        from repro.autograd.tensor import Tensor
+
+        cell = LSTMCell(8, 16, seed=1)
+        h, c = cell(Tensor(rng.random((4, 8))), Tensor(np.zeros((4, 16))), Tensor(np.zeros((4, 16))))
+        assert h.shape == (4, 16) and c.shape == (4, 16)
+
+    @pytest.mark.parametrize("baseline_cls", [GRUBaseline, LSTMBaseline, TCANBaseline])
+    def test_sequence_baselines_learn_dos(self, baseline_cls, dos_capture):
+        enc = WindowFeatureEncoder(BitFeatureEncoder(), window=3)
+        X, y = enc.encode_sequences(dos_capture.records[:2500])
+        baseline = baseline_cls(input_size=X.shape[2], epochs=4, seed=1)
+        result = evaluate_baseline(baseline, X, y, "dos", seed=1)
+        assert result.metrics["f1"] > 88.0
+
+    def test_baseline_result_summary(self, dos_capture):
+        X, y = BitFeatureEncoder().encode(dos_capture.records[:1000])
+        result = evaluate_baseline(MTHBaseline(seed=1), X, y, "dos", seed=1)
+        assert "MTH" in result.summary() and "F1" in result.summary()

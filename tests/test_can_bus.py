@@ -1,0 +1,150 @@
+"""Tests for the bus simulator: arbitration, timing, attack effects."""
+
+import pytest
+
+from repro.can.attacks import DoSAttacker, FuzzyAttacker
+from repro.can.bus import BusSimulator, bus_load
+from repro.can.frame import CANFrame
+from repro.can.node import PeriodicSender, ScheduledFrame, constant_payload
+from repro.errors import CANError
+
+
+class _OneShot:
+    """Emit fixed frames at fixed release times (test helper)."""
+
+    def __init__(self, entries):
+        self.entries = entries
+
+    def frames(self, until):
+        for release, frame in self.entries:
+            if release < until:
+                yield ScheduledFrame(release, frame, "R", "oneshot")
+
+
+class TestArbitration:
+    def test_lower_id_wins_simultaneous_release(self):
+        bus = BusSimulator(bitrate=500_000)
+        bus.attach(_OneShot([(0.0, CANFrame(0x300, bytes(2)))]))
+        bus.attach(_OneShot([(0.0, CANFrame(0x100, bytes(2)))]))
+        records = bus.run(0.1)
+        assert [r.frame.can_id for r in records] == [0x100, 0x300]
+
+    def test_loser_queues_behind_winner(self):
+        bus = BusSimulator(bitrate=500_000)
+        bus.attach(_OneShot([(0.0, CANFrame(0x100, bytes(8))), (0.0, CANFrame(0x200, bytes(8)))]))
+        first, second = bus.run(0.1)
+        assert second.started_at == pytest.approx(first.timestamp)
+        assert second.queueing_delay > 0
+
+    def test_bus_idle_jumps_to_next_release(self):
+        bus = BusSimulator(bitrate=500_000)
+        bus.attach(_OneShot([(0.05, CANFrame(0x100, bytes(1)))]))
+        (record,) = bus.run(0.1)
+        assert record.started_at == pytest.approx(0.05)
+
+    def test_late_high_priority_does_not_preempt(self):
+        """CAN is non-preemptive: a frame in flight finishes."""
+        bus = BusSimulator(bitrate=100_000)  # slow bus: long frames
+        bus.attach(_OneShot([(0.0, CANFrame(0x400, bytes(8)))]))
+        bus.attach(_OneShot([(0.0002, CANFrame(0x001, bytes(1)))]))
+        first, second = bus.run(0.2)
+        assert first.frame.can_id == 0x400
+        assert second.started_at >= first.timestamp
+
+    def test_records_sorted_by_time(self, dos_capture):
+        times = [r.timestamp for r in dos_capture.records]
+        assert times == sorted(times)
+
+
+class TestPeriodicTraffic:
+    def test_period_respected(self):
+        bus = BusSimulator(bitrate=500_000)
+        bus.attach(PeriodicSender(0x123, period=0.01, jitter=0.0, phase=0.0, seed=1))
+        records = bus.run(0.1)
+        # 10 nominal releases; float accumulation may land one extra at ~0.1.
+        assert len(records) in (10, 11)
+
+    def test_jitter_varies_release(self):
+        sender = PeriodicSender(0x123, period=0.01, jitter=0.05, phase=0.0, seed=1)
+        releases = [s.release_time for s in sender.frames(0.1)]
+        deltas = [b - a for a, b in zip(releases, releases[1:])]
+        assert len(set(f"{d:.9f}" for d in deltas)) > 1
+
+    def test_invalid_period(self):
+        with pytest.raises(CANError):
+            PeriodicSender(0x1, period=0.0)
+
+    def test_constant_payload_model(self):
+        sender = PeriodicSender(0x1, 0.01, payload_model=constant_payload(b"\xAA" * 8), phase=0.0, seed=1)
+        frames = list(sender.frames(0.05))
+        assert all(s.frame.data == b"\xAA" * 8 for s in frames)
+
+
+class TestAttackEffects:
+    def test_dos_starves_normal_traffic(self):
+        """During a DoS flood, legitimate frames see queueing delay."""
+        bus = BusSimulator(bitrate=500_000)
+        bus.attach(PeriodicSender(0x300, period=0.001, jitter=0.0, phase=0.0005, seed=1))
+        bus.attach(DoSAttacker(windows=[(0.0, 0.5)], interval=0.0003))
+        records = bus.run(0.5)
+        normal = [r for r in records if r.label == "R"]
+        attack = [r for r in records if r.label == "T"]
+        assert len(attack) > len(normal)
+        assert normal, "0.3 ms DoS cadence must leave some bus gaps at 500 kbit/s"
+        mean_delay = sum(r.queueing_delay for r in normal) / len(normal)
+        assert mean_delay > 0.00005  # significant arbitration losses
+
+    def test_saturating_dos_fully_starves(self):
+        """Injection faster than the frame time occupies the whole bus."""
+        bus = BusSimulator(bitrate=500_000)
+        bus.attach(PeriodicSender(0x300, period=0.001, jitter=0.0, phase=0.0005, seed=1))
+        bus.attach(DoSAttacker(windows=[(0.0, 0.5)], interval=0.0002))
+        records = bus.run(0.5)
+        assert all(r.label == "T" for r in records)
+
+    def test_dos_frames_always_win_ties(self):
+        bus = BusSimulator(bitrate=500_000)
+        bus.attach(PeriodicSender(0x100, period=0.0003, jitter=0.0, phase=0.0, seed=1))
+        bus.attach(DoSAttacker(windows=[(0.0, 0.1)], interval=0.0003))
+        records = bus.run(0.02)
+        # At each simultaneous release, 0x000 transmits first.
+        pairs = zip(records, records[1:])
+        for a, b in pairs:
+            if abs(a.queued_at - b.queued_at) < 1e-12:
+                assert a.frame.can_id == 0x000
+
+    def test_fuzzy_ids_span_range(self):
+        attacker = FuzzyAttacker(windows=[(0.0, 1.0)], interval=0.001, seed=3)
+        ids = [s.frame.can_id for s in attacker.frames(1.0)]
+        assert min(ids) < 0x100 and max(ids) > 0x700
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(CANError):
+            DoSAttacker(windows=[(1.0, 1.0)])
+
+    def test_bad_interval_rejected(self):
+        with pytest.raises(CANError):
+            FuzzyAttacker(windows=[(0.0, 1.0)], interval=0.0)
+
+
+class TestBusLoad:
+    def test_empty(self):
+        assert bus_load([], 1.0, 500_000) == 0.0
+
+    def test_dos_flood_loads_bus(self):
+        bus = BusSimulator(bitrate=500_000)
+        bus.attach(DoSAttacker(windows=[(0.0, 1.0)], interval=0.0002))
+        records = bus.run(1.0)
+        assert bus_load(records, 1.0, 500_000) > 0.5
+
+    def test_invalid_args(self):
+        with pytest.raises(CANError):
+            bus_load([], 0.0, 500_000)
+
+    def test_run_duration_validated(self):
+        with pytest.raises(CANError):
+            BusSimulator().run(0.0)
+
+    def test_bitrate_validated(self):
+        with pytest.raises(CANError):
+            BusSimulator(bitrate=-1)

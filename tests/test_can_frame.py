@@ -1,0 +1,111 @@
+"""Tests for the CAN frame codec."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.can.frame import CANFrame, crc15, max_frame_bits
+from repro.errors import CANError
+from repro.utils.bitops import destuff_bits
+
+
+class TestCRC15:
+    def test_zeros_is_zero(self):
+        assert crc15(np.zeros(16, dtype=np.uint8)) == 0
+
+    def test_single_bit_gives_polynomial_tail(self):
+        # One trailing 1 shifted through an empty register: crc = poly applied once.
+        assert crc15(np.array([1], dtype=np.uint8)) == 0x4599
+
+    def test_detects_single_bit_flips(self, rng):
+        bits = rng.integers(0, 2, size=64).astype(np.uint8)
+        base = crc15(bits)
+        for position in range(0, 64, 7):
+            flipped = bits.copy()
+            flipped[position] ^= 1
+            assert crc15(flipped) != base
+
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=128))
+    def test_crc_in_15_bit_range(self, bits):
+        assert 0 <= crc15(np.array(bits, dtype=np.uint8)) < 2**15
+
+
+class TestCANFrameStructure:
+    def test_dlc_matches_payload(self):
+        assert CANFrame(0x123, bytes(5)).dlc == 5
+
+    def test_id_range_checked_standard(self):
+        with pytest.raises(CANError):
+            CANFrame(0x800)
+
+    def test_id_range_extended_ok(self):
+        frame = CANFrame(0x15555555, bytes(2), extended=True)
+        assert frame.extended
+
+    def test_extended_id_range_checked(self):
+        with pytest.raises(CANError):
+            CANFrame(0x2000_0000, extended=True)
+
+    def test_payload_limit(self):
+        with pytest.raises(CANError):
+            CANFrame(0x1, bytes(9))
+
+    def test_padded_data(self):
+        assert CANFrame(0x1, b"\x42").padded_data() == b"\x42" + bytes(7)
+
+    def test_id_hex_matches_dataset_format(self):
+        assert CANFrame(0x316, bytes(8)).id_hex() == "0316"
+
+
+class TestWireFormat:
+    def test_standard_frame_unstuffed_length(self):
+        # SOF(1)+ID(11)+RTR/IDE/r0(3)+DLC(4)+data(64)+CRC(15) = 98 bits.
+        frame = CANFrame(0x123, bytes(8))
+        assert frame.content_bits().size == 98
+
+    def test_extended_frame_longer(self):
+        std = CANFrame(0x123, bytes(8)).content_bits().size
+        ext = CANFrame(0x123, bytes(8), extended=True).content_bits().size
+        assert ext == std + 20
+
+    def test_bit_length_includes_trailer(self):
+        frame = CANFrame(0x123, bytes(8))
+        assert frame.bit_length(stuffed=False) == 98 + 13
+
+    def test_stuffing_only_adds_bits(self):
+        frame = CANFrame(0x000, bytes(8))  # long zero runs, heavy stuffing
+        assert frame.bit_length() > frame.bit_length(stuffed=False)
+
+    def test_worst_case_bound_holds(self):
+        for dlc in range(9):
+            bound = max_frame_bits(dlc)
+            frame = CANFrame(0x000, bytes(dlc))
+            assert frame.bit_length() <= bound
+
+    def test_duration_at_bitrates(self):
+        frame = CANFrame(0x555, bytes(8))  # alternating id, minimal stuffing
+        assert frame.duration(1_000_000) == pytest.approx(frame.bit_length() / 1e6)
+        assert frame.duration(500_000) == 2 * frame.duration(1_000_000)
+
+    def test_bad_bitrate(self):
+        with pytest.raises(CANError):
+            CANFrame(0x1).duration(0)
+
+    def test_max_frame_bits_validates_dlc(self):
+        with pytest.raises(CANError):
+            max_frame_bits(9)
+
+    @given(
+        st.integers(min_value=0, max_value=0x7FF),
+        st.binary(min_size=0, max_size=8),
+    )
+    def test_destuffed_wire_bits_equal_content(self, can_id, payload):
+        frame = CANFrame(can_id, payload)
+        np.testing.assert_array_equal(destuff_bits(frame.wire_bits()), frame.content_bits())
+
+    @given(st.integers(min_value=0, max_value=0x7FF), st.binary(min_size=0, max_size=8))
+    def test_line_rate_claim_shape(self, can_id, payload):
+        """No 8-byte standard frame beats ~9.6k fps at 1 Mbit/s."""
+        frame = CANFrame(can_id, payload)
+        fps = 1.0 / frame.duration(1_000_000)
+        assert fps <= 1e6 / 47  # minimum possible frame is 47+ bits

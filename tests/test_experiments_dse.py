@@ -1,0 +1,146 @@
+"""Tests for the experiment harnesses and the DSE sweeps (small scale)."""
+
+import numpy as np
+import pytest
+
+from repro.dse.bitwidth import BitwidthPoint, select_deployment_point
+from repro.dse.foldingsweep import run_folding_sweep
+from repro.errors import ConfigError
+from repro.experiments.dse_report import DSEResult, render_dse
+from repro.experiments.energy import render_energy, run_energy
+from repro.experiments.figure1 import render_figure1, run_figure1
+from repro.experiments.foldings import render_foldings, run_foldings
+from repro.experiments.latency_report import render_latency_report, run_latency_report
+from repro.experiments.multimodel import render_multimodel, run_multimodel
+from repro.experiments.resources_report import render_resources, run_resources
+from repro.experiments.table1 import render_table1, run_table1
+from repro.experiments.table2 import render_table2, run_table2
+from repro.experiments.throughput import render_throughput, run_throughput
+from repro.quant.export import export_qnn
+
+
+class TestTable1:
+    def test_measured_metrics_high(self, experiment_context):
+        result = run_table1(experiment_context)
+        assert result.measured["dos"]["f1"] > 99.0
+        assert result.measured["fuzzy"]["f1"] > 95.0
+
+    def test_f1_gap_small(self, experiment_context):
+        result = run_table1(experiment_context)
+        assert abs(result.f1_gap("dos")) < 1.5
+
+    def test_render_contains_all_models(self, experiment_context):
+        text = render_table1(run_table1(experiment_context)).render()
+        for model in ("DCNN", "MLIDS", "NovelADS", "TCAN-IDS", "GRU", "4-bit-QMLP"):
+            assert model in text
+
+
+class TestTable2:
+    def test_measured_latency_envelope(self, experiment_context):
+        result = run_table2(experiment_context, eval_frames=800)
+        assert 0.05 < result.measured_latency_ms < 0.2
+        assert result.p99_latency_ms > result.measured_latency_ms
+
+    def test_beats_all_published_rows(self, experiment_context):
+        from repro.baselines.published import PUBLISHED_LATENCY
+
+        result = run_table2(experiment_context, eval_frames=800)
+        assert all(result.measured_latency_ms < row.latency_ms for row in PUBLISHED_LATENCY)
+
+    def test_speedup_vs_mth_headline(self, experiment_context):
+        """The paper's 4.8x claim over MTH-IDS must hold in shape (>3x)."""
+        result = run_table2(experiment_context, eval_frames=800)
+        assert result.speedup_vs_mth > 3.0
+
+    def test_render(self, experiment_context):
+        text = render_table2(run_table2(experiment_context, eval_frames=400)).render()
+        assert "MTH-IDS" in text and "measured" in text
+
+
+class TestSmallExperiments:
+    def test_latency_breakdown(self, experiment_context):
+        report = run_latency_report(experiment_context, samples=2000)
+        assert report.hw_core_us < 50
+        assert report.breakdown.dominant() == "can_rx_path"
+        assert "can_rx_path" in render_latency_report(report).render()
+
+    def test_throughput_claims(self, experiment_context):
+        result = run_throughput(experiment_context, eval_frames=800)
+        assert result.near_line_rate_1m
+        assert result.meets_paper_claim
+        assert result.hw_core_fps > result.ecu_throughput_fps
+        assert "line rate" in render_throughput(result).render()
+
+    def test_energy_operating_point(self, experiment_context):
+        result = run_energy(experiment_context, eval_frames=800)
+        assert 1.9 < result.mean_power_w < 2.3
+        assert 0.1 < result.energy_per_inference_mj < 0.5
+        assert result.gpu_energy_j == pytest.approx(9.12)
+        assert result.gpu_ratio > 1e4
+        assert "PMBus" in render_energy(result).render()
+
+    def test_resources_claim(self, experiment_context):
+        result = run_resources(experiment_context)
+        assert result.meets_paper_claim
+        assert result.instances_fit >= 2  # multi-model claim feasible
+        total_lut = sum(est.lut for _, est in result.per_stage)
+        assert total_lut == pytest.approx(result.total.lut)
+        assert "utilisation" in render_resources(result).render()
+
+    def test_figure1_detects_attacks(self, experiment_context):
+        results = run_figure1(experiment_context, eval_frames=1500)
+        assert results["dos"].detections > 0
+        assert results["dos"].metrics["f1"] > 99.0
+        assert results["dos"].mean_detection_delay_ms < 50.0
+        assert "dos-ids-ecu" in render_figure1(results).render()
+
+    def test_multimodel_overheads(self, experiment_context):
+        result = run_multimodel(experiment_context, eval_frames=800)
+        assert result.combined_max_utilization_pct < 10.0
+        assert 0 < result.power_overhead_w < 0.3  # "slightly higher"
+        assert result.dos_f1 > 99.0
+        assert "co-resident" in render_multimodel(result).render()
+
+
+class TestFoldingSweep:
+    def test_staircase(self, trained_dos):
+        export = export_qnn(trained_dos.model)
+        points = run_folding_sweep(export, targets=(1e4, 1e6))
+        assert points[0].resources.lut < points[1].resources.lut
+        assert points[0].achieved_fps >= 1e4
+        assert points[1].achieved_fps >= 1e6
+
+    def test_foldings_report(self, experiment_context):
+        report = run_foldings(experiment_context, targets=(1e5, 1e6))
+        assert report.resource_span > 1.0
+        assert "Folding sweep" in render_foldings(report).render()
+
+    def test_empty_targets_rejected(self, trained_dos):
+        with pytest.raises(ConfigError):
+            run_folding_sweep(export_qnn(trained_dos.model), targets=())
+
+
+class TestBitwidthSelection:
+    def _point(self, bits, f1):
+        point = BitwidthPoint(bits=bits)
+        point.metrics = {"dos": {"f1": f1, "fnr": 0.0}, "fuzzy": {"f1": f1, "fnr": 0.0}}
+        return point
+
+    def test_narrowest_within_tolerance_wins(self):
+        points = [self._point(2, 97.0), self._point(4, 99.9), self._point(8, 100.0)]
+        assert select_deployment_point(points, tolerance=0.25).bits == 4
+
+    def test_strict_tolerance_forces_best(self):
+        points = [self._point(4, 99.0), self._point(8, 100.0)]
+        assert select_deployment_point(points, tolerance=0.01).bits == 8
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            select_deployment_point([])
+
+    def test_render_dse(self):
+        points = [self._point(2, 97.0), self._point(4, 99.9)]
+        result = DSEResult(points=points, selected=points[1])
+        text = render_dse(result).render()
+        assert "W4A4" in text and "<==" in text
+        assert result.matches_paper

@@ -1,0 +1,66 @@
+"""Spoofing-attack detectors (gear/RPM) — the dataset's other attacks.
+
+The paper deploys DoS and Fuzzy detectors; the Car-Hacking dataset also
+contains gear/RPM spoofing captures, and the paper's framework claims
+to extend to them ("multiple models ... for a comprehensive IDS
+integration").  These tests prove the pipeline covers that extension:
+spoofing is the hardest per-frame task (legitimate identifier, only the
+payload is wrong), and the QMLP still learns it from payload bits.
+"""
+
+import numpy as np
+import pytest
+
+from repro.datasets.carhacking import generate_capture
+from repro.datasets.features import BitFeatureEncoder
+from repro.finn.ipgen import compile_model
+from repro.models.qmlp import QMLPConfig
+from repro.training.pipeline import train_ids_model
+from repro.training.trainer import TrainConfig
+
+
+@pytest.fixture(scope="module", params=["rpm", "gear"])
+def spoof_result(request):
+    capture = generate_capture(
+        request.param, duration=4.0, seed=500,
+        initial_gap=0.2, attack_burst=1.2, attack_gap=0.8,
+    )
+    return train_ids_model(
+        request.param,
+        model_config=QMLPConfig(hidden=(32, 16), seed=5),
+        train_config=TrainConfig(epochs=8, seed=5),
+        capture=capture,
+        seed=17,
+    )
+
+
+class TestSpoofingDetectors:
+    def test_detector_learns_spoofing(self, spoof_result):
+        # Spoofed frames reuse a legitimate identifier; detection relies
+        # on payload structure alone, so the bar is lower than DoS/Fuzzy.
+        assert spoof_result.metrics["f1"] > 97.0
+        assert spoof_result.metrics["fnr"] < 3.0
+
+    def test_spoofing_harder_than_dos(self, spoof_result, trained_dos):
+        assert spoof_result.metrics["f1"] <= trained_dos.metrics["f1"] + 1e-9
+
+    def test_spoof_detector_compiles_bit_exact(self, spoof_result):
+        ip = compile_model(spoof_result.model, name=f"{spoof_result.attack}-ids")
+        assert ip.verification is not None and ip.verification.exact
+
+    def test_only_target_id_attacked(self, spoof_result):
+        target = 0x316 if spoof_result.attack == "rpm" else 0x43F
+        attack_ids = {r.can_id for r in spoof_result.capture.records if r.is_attack}
+        assert attack_ids == {target}
+
+    def test_detector_flags_spoofed_payloads_not_id(self, spoof_result):
+        """On the target identifier alone, the model separates real vs forged."""
+        target = 0x316 if spoof_result.attack == "rpm" else 0x43F
+        records = [r for r in spoof_result.capture.records if r.can_id == target]
+        features, labels = BitFeatureEncoder().encode(records)
+        from repro.training.trainer import Trainer
+
+        predictions = Trainer.predict(spoof_result.model, features)
+        # Same identifier for every frame: any separation is payload based.
+        accuracy = float((predictions == labels).mean())
+        assert accuracy > 0.95

@@ -1,0 +1,60 @@
+"""Tests for deterministic seed derivation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.utils.rng import SeedSequence, derive_seed, new_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(42, "x") == derive_seed(42, "x")
+
+    def test_name_sensitivity(self):
+        assert derive_seed(42, "a") != derive_seed(42, "b")
+
+    def test_seed_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_non_negative_63_bit(self):
+        seed = derive_seed(123456789, "component")
+        assert 0 <= seed < 2**63
+
+    def test_rejects_non_int(self):
+        with pytest.raises(ConfigError):
+            derive_seed("not-an-int", "x")  # type: ignore[arg-type]
+
+
+class TestNewRng:
+    def test_same_stream_same_seed(self):
+        a = new_rng(7, "data").random(5)
+        b = new_rng(7, "data").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_independent(self):
+        a = new_rng(7, "data").random(5)
+        b = new_rng(7, "weights").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_plain_seed_without_name(self):
+        a = new_rng(7).random(3)
+        b = np.random.default_rng(7).random(3)
+        assert np.array_equal(a, b)
+
+
+class TestSeedSequence:
+    def test_scoped_streams_differ_from_root(self):
+        seeds = SeedSequence(7)
+        child = seeds.child("experiment")
+        assert seeds.seed("data") != child.seed("data")
+
+    def test_rng_reproducible(self):
+        s1 = SeedSequence(9).rng("a").random(4)
+        s2 = SeedSequence(9).rng("a").random(4)
+        assert np.array_equal(s1, s2)
+
+    def test_nested_children(self):
+        root = SeedSequence(1)
+        deep = root.child("x").child("y")
+        assert deep.seed("z") == SeedSequence(1).child("x").child("y").seed("z")
