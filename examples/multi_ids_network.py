@@ -5,18 +5,23 @@ Builds the system of the paper's Fig. 1: a CAN bus carrying periodic
 powertrain/body traffic plus a malicious node, monitored by IDS-ECUs
 that carry *both* detector IPs on one overlay (the paper's multi-model
 deployment).  Reports per-burst detection delay, combined resource
-cost and power.
+cost and power — then scales the deployment up to a multi-channel
+gateway where each segment streams live through its own IDS-ECU with
+real RX-FIFO backpressure.
 
 Run:  python examples/multi_ids_network.py
 """
 
 import numpy as np
 
-from repro.datasets.carhacking import generate_capture
+from repro.can.attacks import DoSAttacker, FuzzyAttacker
+from repro.datasets.carhacking import build_vehicle_bus, generate_capture
 from repro.datasets.features import BitFeatureEncoder
 from repro.finn.ipgen import compile_model
 from repro.soc.device import ZCU104
 from repro.soc.driver import Overlay
+from repro.soc.ecu import IDSEnabledECU
+from repro.soc.gateway import IDSGateway
 from repro.soc.power import PowerModel
 from repro.training.metrics import ids_metrics
 from repro.training.pipeline import train_ids_model
@@ -74,6 +79,26 @@ def main() -> None:
             f"F1 {metrics['f1']:.2f}, FNR {metrics['fnr']:.2f}, "
             f"first-alert delay {np.mean(delays):.2f} ms over {len(delays)} bursts"
         )
+
+    print("\n== multi-channel gateway (streaming, real FIFO backpressure) ==")
+    # Two concurrent segments of the same vehicle: the powertrain bus is
+    # being DoS-flooded while the body bus sees a fuzzing campaign.
+    gateway = IDSGateway("vehicle-gateway")
+    powertrain = build_vehicle_bus(vehicle_seed=vehicle_seed)
+    powertrain.attach(DoSAttacker([(1.0, 3.0), (5.0, 7.0)], seed=7))
+    gateway.attach_channel(
+        "powertrain",
+        powertrain,
+        IDSEnabledECU(dos_ip, BitFeatureEncoder(), name="powertrain-ids", seed=21),
+    )
+    body = build_vehicle_bus(vehicle_seed=vehicle_seed)
+    body.attach(FuzzyAttacker([(2.0, 4.0), (6.0, 8.0)], seed=8))
+    gateway.attach_channel(
+        "body",
+        body,
+        IDSEnabledECU(fuzzy_ip, BitFeatureEncoder(), name="body-ids", seed=22),
+    )
+    print(gateway.monitor(duration=8.0).summary())
 
 
 if __name__ == "__main__":

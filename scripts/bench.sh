@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 test suite plus the library micro-benchmarks.
+#
+# Leaves the perf trajectory on disk:
+#   benchmarks/output/BENCH_encoders.json  — scalar vs. vectorised encoding
+#
+# The paper-table benchmarks (test_bench_table*.py etc.) train at full
+# scale and are not part of this quick loop; run them directly when
+# regenerating the tables.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1 tests =="
+python -m pytest -x -q tests
+
+echo "== micro-benchmarks =="
+python -m pytest -q -s benchmarks/test_bench_encoder.py benchmarks/test_bench_micro.py
+
+echo "perf trajectory written to benchmarks/output/BENCH_encoders.json"

@@ -15,13 +15,15 @@ simulator reproduces).
 from repro.can.attacks import DoSAttacker, FuzzyAttacker, ReplayAttacker, SpoofingAttacker
 from repro.can.bus import BusRecord, BusSimulator
 from repro.can.frame import CANFrame, crc15
-from repro.can.log import read_car_hacking_csv, write_car_hacking_csv
+from repro.can.log import CANLogRecord, CaptureArray, read_car_hacking_csv, write_car_hacking_csv
 from repro.can.node import PeriodicSender, ScheduledFrame, TrafficSource
 
 __all__ = [
     "BusRecord",
     "BusSimulator",
     "CANFrame",
+    "CANLogRecord",
+    "CaptureArray",
     "DoSAttacker",
     "FuzzyAttacker",
     "PeriodicSender",

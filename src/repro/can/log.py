@@ -18,11 +18,19 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.can.bus import BusRecord
 from repro.can.frame import CANFrame
 from repro.errors import DatasetError
 
-__all__ = ["CANLogRecord", "read_car_hacking_csv", "write_car_hacking_csv", "records_from_bus"]
+__all__ = [
+    "CANLogRecord",
+    "CaptureArray",
+    "read_car_hacking_csv",
+    "write_car_hacking_csv",
+    "records_from_bus",
+]
 
 LABEL_NORMAL = "R"
 LABEL_ATTACK = "T"
@@ -51,6 +59,103 @@ class CANLogRecord:
     def to_frame(self) -> CANFrame:
         """Reconstruct the wire-level frame."""
         return CANFrame(self.can_id, self.data)
+
+
+#: Payload slots per frame in the columnar layout (classic CAN maximum).
+MAX_PAYLOAD_BYTES = 8
+
+
+@dataclass(frozen=True)
+class CaptureArray:
+    """Columnar capture: one structured array per field, built once.
+
+    The row-oriented :class:`CANLogRecord` list is the interchange
+    format; this is the compute format.  Payloads are zero-padded to
+    eight bytes (``dlcs`` preserves the true lengths), so encoders can
+    run whole-capture numpy kernels instead of per-frame Python loops.
+    """
+
+    timestamps: np.ndarray  #: (N,) float64 reception timestamps
+    can_ids: np.ndarray  #: (N,) int64 identifiers
+    dlcs: np.ndarray  #: (N,) int64 true payload lengths
+    payloads: np.ndarray  #: (N, 8) uint8, zero-padded payload bytes
+    labels: np.ndarray  #: (N,) int64, 1 for attack ("T") frames
+
+    def __post_init__(self) -> None:
+        n = self.timestamps.shape[0]
+        for name in ("can_ids", "dlcs", "labels"):
+            if getattr(self, name).shape != (n,):
+                raise DatasetError(f"CaptureArray field {name} must have shape ({n},)")
+        if self.payloads.shape != (n, MAX_PAYLOAD_BYTES):
+            raise DatasetError(
+                f"CaptureArray payloads must have shape ({n}, {MAX_PAYLOAD_BYTES}), "
+                f"got {self.payloads.shape}"
+            )
+        if self.payloads.dtype != np.uint8:
+            raise DatasetError(f"CaptureArray payloads must be uint8, got {self.payloads.dtype}")
+
+    def __len__(self) -> int:
+        return int(self.timestamps.shape[0])
+
+    def __getitem__(self, index) -> "CaptureArray":
+        """Slice / boolean-mask / fancy-index into a new CaptureArray."""
+        if isinstance(index, (int, np.integer)):
+            position = int(index) + len(self) if index < 0 else int(index)
+            if not 0 <= position < len(self):
+                raise IndexError(f"index {index} out of range for {len(self)}-frame capture")
+            index = slice(position, position + 1)
+        return CaptureArray(
+            timestamps=self.timestamps[index],
+            can_ids=self.can_ids[index],
+            dlcs=self.dlcs[index],
+            payloads=self.payloads[index],
+            labels=self.labels[index],
+        )
+
+    @classmethod
+    def coerce(cls, records: "Sequence[CANLogRecord] | CaptureArray") -> "CaptureArray":
+        """Pass through a CaptureArray, convert a record list."""
+        if isinstance(records, CaptureArray):
+            return records
+        return cls.from_records(records)
+
+    @classmethod
+    def from_records(cls, records: Sequence[CANLogRecord]) -> "CaptureArray":
+        """Build the columnar form in one pass over a record list."""
+        n = len(records)
+        timestamps = np.fromiter((r.timestamp for r in records), dtype=np.float64, count=n)
+        can_ids = np.fromiter((r.can_id for r in records), dtype=np.int64, count=n)
+        dlcs = np.fromiter((r.dlc for r in records), dtype=np.int64, count=n)
+        padded = b"".join(r.data + bytes(MAX_PAYLOAD_BYTES - len(r.data)) for r in records)
+        payloads = np.frombuffer(padded, dtype=np.uint8).reshape(n, MAX_PAYLOAD_BYTES).copy()
+        labels = np.fromiter((1 if r.is_attack else 0 for r in records), dtype=np.int64, count=n)
+        return cls(timestamps, can_ids, dlcs, payloads, labels)
+
+    def to_records(self) -> list[CANLogRecord]:
+        """Round-trip back to the row-oriented interchange form."""
+        return [
+            CANLogRecord(
+                timestamp=float(self.timestamps[i]),
+                can_id=int(self.can_ids[i]),
+                dlc=int(self.dlcs[i]),
+                data=self.payloads[i, : int(self.dlcs[i])].tobytes(),
+                label=LABEL_ATTACK if self.labels[i] else LABEL_NORMAL,
+            )
+            for i in range(len(self))
+        ]
+
+    @classmethod
+    def concatenate(cls, parts: Sequence["CaptureArray"]) -> "CaptureArray":
+        """Stitch captures together (e.g. stream-chunk context carry)."""
+        if not parts:
+            raise DatasetError("cannot concatenate zero CaptureArrays")
+        return cls(
+            timestamps=np.concatenate([p.timestamps for p in parts]),
+            can_ids=np.concatenate([p.can_ids for p in parts]),
+            dlcs=np.concatenate([p.dlcs for p in parts]),
+            payloads=np.concatenate([p.payloads for p in parts], axis=0),
+            labels=np.concatenate([p.labels for p in parts]),
+        )
 
 
 def records_from_bus(bus_records: Iterable[BusRecord]) -> list[CANLogRecord]:

@@ -43,7 +43,14 @@ from repro.can.node import (
 from repro.errors import DatasetError
 from repro.utils.rng import SeedSequence
 
-__all__ = ["VehicleIdSpec", "default_vehicle", "CarHackingCapture", "generate_capture", "ATTACK_TYPES"]
+__all__ = [
+    "VehicleIdSpec",
+    "default_vehicle",
+    "build_vehicle_bus",
+    "CarHackingCapture",
+    "generate_capture",
+    "ATTACK_TYPES",
+]
 
 ATTACK_TYPES = ("dos", "fuzzy", "gear", "rpm")
 
@@ -123,6 +130,33 @@ def _attack_windows(
     return windows
 
 
+def build_vehicle_bus(
+    vehicle: Sequence[VehicleIdSpec] | None = None,
+    vehicle_seed: int = 0,
+    bitrate: float = BITRATE_HS_CAN,
+) -> BusSimulator:
+    """A bus with the vehicle's periodic senders attached (no attacker).
+
+    The legitimate traffic is a property of the *vehicle*: buses built
+    with the same ``vehicle_seed`` carry the same payload constants and
+    sensor dynamics.  Callers (capture generation, the multi-channel
+    gateway scenario) attach their own attackers on top.
+    """
+    vehicle_seeds = SeedSequence(vehicle_seed, scope="carhacking-vehicle")
+    bus = BusSimulator(bitrate=bitrate)
+    for spec in vehicle if vehicle is not None else default_vehicle():
+        bus.attach(
+            PeriodicSender(
+                can_id=spec.can_id,
+                period=spec.period,
+                payload_model=_payload_model(spec, vehicle_seeds),
+                jitter=0.02,
+                seed=vehicle_seeds.seed(f"sender-{spec.can_id:x}"),
+            )
+        )
+    return bus
+
+
 @dataclass
 class CarHackingCapture:
     """A labelled capture plus its generation metadata."""
@@ -195,20 +229,7 @@ def generate_capture(
     # attack being recorded: captures generated with the same vehicle seed
     # share identifier payload constants and sensor dynamics, exactly like
     # the real dataset's captures, which all come from one car.
-    vehicle_seeds = SeedSequence(
-        seed if vehicle_seed is None else vehicle_seed, scope="carhacking-vehicle"
-    )
-    bus = BusSimulator(bitrate=bitrate)
-    for spec in vehicle if vehicle is not None else default_vehicle():
-        bus.attach(
-            PeriodicSender(
-                can_id=spec.can_id,
-                period=spec.period,
-                payload_model=_payload_model(spec, vehicle_seeds),
-                jitter=0.02,
-                seed=vehicle_seeds.seed(f"sender-{spec.can_id:x}"),
-            )
-        )
+    bus = build_vehicle_bus(vehicle, seed if vehicle_seed is None else vehicle_seed, bitrate)
     windows = _attack_windows(duration, attack_burst, attack_gap, initial_gap) if attack else []
     if attack == "dos":
         bus.attach(DoSAttacker(windows, seed=seeds.seed("attacker")))
@@ -255,20 +276,7 @@ def generate_mixed_capture(
         raise DatasetError("mixed capture needs at least one attack type")
     seeds = SeedSequence(seed, scope=f"carhacking-mixed-{'-'.join(attacks)}")
     # Same-vehicle convention as generate_capture (see comment there).
-    vehicle_seeds = SeedSequence(
-        seed if vehicle_seed is None else vehicle_seed, scope="carhacking-vehicle"
-    )
-    bus = BusSimulator(bitrate=bitrate)
-    for spec in vehicle if vehicle is not None else default_vehicle():
-        bus.attach(
-            PeriodicSender(
-                can_id=spec.can_id,
-                period=spec.period,
-                payload_model=_payload_model(spec, vehicle_seeds),
-                jitter=0.02,
-                seed=vehicle_seeds.seed(f"sender-{spec.can_id:x}"),
-            )
-        )
+    bus = build_vehicle_bus(vehicle, seed if vehicle_seed is None else vehicle_seed, bitrate)
     all_windows = _attack_windows(duration, attack_burst, attack_gap, initial_gap)
     per_attack: dict[str, list[tuple[float, float]]] = {attack: [] for attack in attacks}
     for index, window in enumerate(all_windows):

@@ -13,6 +13,12 @@ encoders are provided:
 * :class:`WindowFeatureEncoder` — stacks the features of the last *k*
   frames plus inter-arrival times, for block-based baselines (DCNN,
   GRU, TCAN consume windows; see Table II "Frames" column).
+
+Every encoder has two equivalent paths: the per-frame reference
+(``encode_frame``) and a whole-capture vectorised kernel
+(``encode_batch``) over the columnar :class:`~repro.can.log.CaptureArray`.
+The vectorised path is bit-exact with the reference — pinned by
+regression tests — and is what ``encode`` and the ECU pipeline use.
 """
 
 from __future__ import annotations
@@ -22,7 +28,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.can.frame import MAX_STANDARD_ID
-from repro.can.log import CANLogRecord
+from repro.can.log import CANLogRecord, CaptureArray
 from repro.errors import DatasetError
 from repro.utils.bitops import bytes_to_bits, int_to_bits
 
@@ -40,20 +46,36 @@ class FeatureEncoder:
     #: Number of features produced per frame/window.
     num_features: int
 
+    #: Frames of leading context a chunked/streaming caller must carry
+    #: over so chunk-boundary outputs match whole-capture encoding.
+    lookback: int = 0
+
     def encode_frame(self, record: CANLogRecord) -> np.ndarray:
         """Encode one frame to a 1-D feature vector."""
         raise NotImplementedError
 
-    def encode(self, records: Sequence[CANLogRecord]) -> tuple[np.ndarray, np.ndarray]:
+    def encode_batch(self, capture: CaptureArray) -> np.ndarray:
+        """Encode a columnar capture to features ``X`` (N, F).
+
+        The base implementation falls back to the per-frame reference;
+        subclasses override with vectorised kernels that must stay
+        bit-exact with it.
+        """
+        if len(capture) == 0:
+            raise DatasetError("cannot encode an empty capture")
+        return np.stack([self.encode_frame(record) for record in capture.to_records()])
+
+    def encode(
+        self, records: Sequence[CANLogRecord] | CaptureArray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Encode a capture into features ``X`` (N, F) and labels ``y`` (N,).
 
         Labels are 1 for attack ("T") frames, 0 for regular traffic.
         """
-        if not records:
+        capture = CaptureArray.coerce(records)
+        if len(capture) == 0:
             raise DatasetError("cannot encode an empty capture")
-        features = np.stack([self.encode_frame(record) for record in records])
-        labels = np.array([1 if record.is_attack else 0 for record in records], dtype=np.int64)
-        return features, labels
+        return self.encode_batch(capture), capture.labels.astype(np.int64)
 
 
 class BitFeatureEncoder(FeatureEncoder):
@@ -70,6 +92,20 @@ class BitFeatureEncoder(FeatureEncoder):
         data_bits = bytes_to_bits(payload)
         return np.concatenate([id_bits, dlc_bits, data_bits]).astype(np.float64)
 
+    def encode_batch(self, capture: CaptureArray) -> np.ndarray:
+        if len(capture) == 0:
+            raise DatasetError("cannot encode an empty capture")
+        if int(capture.can_ids.max()) > MAX_STANDARD_ID:
+            bad = int(capture.can_ids.max())
+            raise DatasetError(f"bit encoder expects standard ids, got 0x{bad:X}")
+        out = np.empty((len(capture), self.num_features), dtype=np.float64)
+        # Identifier and DLC bits, MSB first (matches int_to_bits).
+        out[:, :11] = (capture.can_ids[:, None] >> np.arange(10, -1, -1)) & 1
+        out[:, 11:15] = (np.minimum(capture.dlcs, 15)[:, None] >> np.arange(3, -1, -1)) & 1
+        # Payload bits, MSB first per byte (matches bytes_to_bits).
+        out[:, 15:] = np.unpackbits(capture.payloads, axis=1)
+        return out
+
 
 class ByteFeatureEncoder(FeatureEncoder):
     """10 features in [0, 1]: ID/0x7FF, DLC/8 and the 8 payload bytes/255."""
@@ -83,6 +119,15 @@ class ByteFeatureEncoder(FeatureEncoder):
         features[1] = record.dlc / 8.0
         features[2:] = np.frombuffer(payload, dtype=np.uint8) / 255.0
         return features
+
+    def encode_batch(self, capture: CaptureArray) -> np.ndarray:
+        if len(capture) == 0:
+            raise DatasetError("cannot encode an empty capture")
+        out = np.empty((len(capture), self.num_features), dtype=np.float64)
+        out[:, 0] = capture.can_ids / MAX_STANDARD_ID
+        out[:, 1] = capture.dlcs / 8.0
+        out[:, 2:] = capture.payloads / 255.0
+        return out
 
 
 class WindowFeatureEncoder(FeatureEncoder):
@@ -108,16 +153,19 @@ class WindowFeatureEncoder(FeatureEncoder):
         self.interarrival_scale = interarrival_scale
         per_frame = self.base.num_features + (1 if include_interarrival else 0)
         self.num_features = per_frame * window
+        # Inter-arrival gaps reach one frame further back than the
+        # window itself (the gap of the oldest in-window frame).
+        self.lookback = window if include_interarrival else window - 1
 
     def encode_frame(self, record: CANLogRecord) -> np.ndarray:
         raise DatasetError("WindowFeatureEncoder encodes captures, not single frames")
 
-    def encode(self, records: Sequence[CANLogRecord]) -> tuple[np.ndarray, np.ndarray]:
-        if not records:
+    def encode_batch(self, capture: CaptureArray) -> np.ndarray:
+        if len(capture) == 0:
             raise DatasetError("cannot encode an empty capture")
-        base_features = np.stack([self.base.encode_frame(record) for record in records])
+        base_features = self.base.encode_batch(capture)
         if self.include_interarrival:
-            times = np.array([record.timestamp for record in records])
+            times = capture.timestamps
             gaps = np.diff(times, prepend=times[0])
             gaps = np.clip(gaps / self.interarrival_scale, 0.0, 1.0)
             base_features = np.concatenate([base_features, gaps[:, None]], axis=1)
@@ -127,11 +175,12 @@ class WindowFeatureEncoder(FeatureEncoder):
             # offset 0 = current frame, 1 = previous, ...
             source = base_features[: count - offset] if offset else base_features
             window_x[offset:, (self.window - 1 - offset) * per_frame : (self.window - offset) * per_frame] = source
-        labels = np.array([1 if record.is_attack else 0 for record in records], dtype=np.int64)
-        return window_x, labels
+        return window_x
 
-    def encode_sequences(self, records: Sequence[CANLogRecord]) -> tuple[np.ndarray, np.ndarray]:
+    def encode_sequences(
+        self, records: Sequence[CANLogRecord] | CaptureArray
+    ) -> tuple[np.ndarray, np.ndarray]:
         """Encode as (N, window, per-frame) sequences for recurrent models."""
         window_x, labels = self.encode(records)
         per_frame = window_x.shape[1] // self.window
-        return window_x.reshape(len(records), self.window, per_frame), labels
+        return window_x.reshape(len(labels), self.window, per_frame), labels

@@ -7,8 +7,15 @@ high-speed critical CAN networks."
 Line rate is a property of the bus: at 1 Mbit/s (high-speed CAN
 maximum), a worst-case-stuffed 8-byte frame occupies ~135 bit times, so
 the wire can never deliver more than ~7400 frames/s.  The experiment
-computes that bound exactly (via the frame codec) and measures the
-ECU's sustained processing rate against it.
+computes that bound exactly (via the frame codec) and measures the ECU
+against it under *both* throughput conventions:
+
+* **inverse latency** — the paper's derivation (1 / per-message
+  latency), which assumes no overlap between pipeline stages;
+* **sustained (II-gated)** — the steady-state rate of the pipelined
+  receive path, bounded by its slowest stage (CPU software path, driver
+  MMIO, or core initiation interval), the same definition
+  ``SimReport.throughput_fps`` uses for the core alone.
 """
 
 from __future__ import annotations
@@ -30,7 +37,8 @@ __all__ = ["ThroughputResult", "run_throughput", "render_throughput"]
 class ThroughputResult:
     """ECU processing rate vs. wire line rates."""
 
-    ecu_throughput_fps: float
+    ecu_throughput_fps: float  #: sustained, II-gated (the honest rate figure)
+    ecu_inverse_latency_fps: float  #: 1/mean-latency (the paper's convention)
     hw_core_fps: float
     line_rate_500k_fps: float
     line_rate_1m_fps: float
@@ -44,6 +52,11 @@ class ThroughputResult:
     @property
     def meets_paper_claim(self) -> bool:
         return self.ecu_throughput_fps >= self.paper_claim_fps
+
+    @property
+    def inverse_latency_meets_paper_claim(self) -> bool:
+        """The claim under the paper's own (inverse-latency) convention."""
+        return self.ecu_inverse_latency_fps >= self.paper_claim_fps
 
 
 def run_throughput(context: ExperimentContext, eval_frames: int = 4000) -> ThroughputResult:
@@ -59,6 +72,7 @@ def run_throughput(context: ExperimentContext, eval_frames: int = 4000) -> Throu
     bits_per_frame = max_frame_bits(dlc=8)  # highest payload capacity, worst-case stuffing
     return ThroughputResult(
         ecu_throughput_fps=report.throughput_fps,
+        ecu_inverse_latency_fps=report.inverse_latency_fps,
         hw_core_fps=ip.throughput_fps,
         line_rate_500k_fps=BITRATE_HS_CAN / bits_per_frame,
         line_rate_1m_fps=BITRATE_HS_CAN_MAX / bits_per_frame,
@@ -75,9 +89,17 @@ def render_throughput(result: ThroughputResult) -> Table:
     table.add_row(["paper claim", f"{result.paper_claim_fps:,.0f}", ">8300 msg/s"])
     table.add_row(
         [
-            "QMLP-coupled ECU (measured)",
+            "QMLP-coupled ECU (1/latency)",
+            f"{result.ecu_inverse_latency_fps:,.0f}",
+            "paper's convention (no stage overlap)",
+        ]
+    )
+    table.add_row(
+        [
+            "QMLP-coupled ECU (sustained)",
             f"{result.ecu_throughput_fps:,.0f}",
-            "near line rate" if result.near_line_rate_1m else "below 1 Mbit/s line rate",
+            "II-gated; "
+            + ("near line rate" if result.near_line_rate_1m else "below 1 Mbit/s line rate"),
         ]
     )
     table.add_row(["FPGA core alone", f"{result.hw_core_fps:,.0f}", "accelerator steady-state"])

@@ -10,7 +10,10 @@ accelerator over AXI.  This package models that platform:
 * :mod:`~repro.soc.accelerator` — the memory-mapped IP wrapper.
 * :mod:`~repro.soc.driver` — a PYNQ-style ``Overlay`` facade.
 * :mod:`~repro.soc.ecu` — the receive-path pipeline (interface → FIFO
-  → feature encode → accelerator → verdict) with latency accounting.
+  → feature encode → accelerator → verdict) with latency accounting,
+  including the streaming engine with real FIFO backpressure.
+* :mod:`~repro.soc.gateway` — multi-channel gateway: several buses,
+  each scanned by its own IDS-ECU, with aggregate accounting.
 * :mod:`~repro.soc.power` — PMBus-style rail sampling and energy.
 * :mod:`~repro.soc.latency` — the end-to-end per-message latency model.
 * :mod:`~repro.soc.platforms` — GPU/Jetson/RPi comparison platforms.
@@ -20,8 +23,9 @@ from repro.soc.accelerator import HWInferenceTrace, MemoryMappedAccelerator
 from repro.soc.axi import AXILiteBus, AXIPort
 from repro.soc.device import DEVICES, FPGADevice, ZCU104
 from repro.soc.driver import Overlay
-from repro.soc.ecu import ECUReport, IDSEnabledECU
+from repro.soc.ecu import ECUReport, IDSEnabledECU, simulate_fifo_admission
 from repro.soc.fifo import RxFIFO
+from repro.soc.gateway import ChannelResult, GatewayReport, IDSGateway
 from repro.soc.latency import LatencyBreakdown, LatencyModel
 from repro.soc.platforms import PLATFORMS, PlatformModel
 from repro.soc.power import PMBusSampler, PowerModel, PowerReport
@@ -29,11 +33,14 @@ from repro.soc.power import PMBusSampler, PowerModel, PowerReport
 __all__ = [
     "AXILiteBus",
     "AXIPort",
+    "ChannelResult",
     "DEVICES",
     "ECUReport",
     "FPGADevice",
+    "GatewayReport",
     "HWInferenceTrace",
     "IDSEnabledECU",
+    "IDSGateway",
     "LatencyBreakdown",
     "LatencyModel",
     "MemoryMappedAccelerator",
@@ -45,4 +52,5 @@ __all__ = [
     "PowerReport",
     "RxFIFO",
     "ZCU104",
+    "simulate_fifo_admission",
 ]

@@ -47,6 +47,31 @@ class RxFIFO(Generic[T]):
         self._queue.append(item)
         self.pushed += 1
 
+    def transfer(self, count: int) -> None:
+        """Account a batched push-and-drain of ``count`` items.
+
+        The batch/stream paths service every admitted frame as it
+        arrives (push immediately followed by pop), so net occupancy
+        never grows; this records the traffic without ``count`` Python
+        round-trips through :meth:`push`/:meth:`pop`.
+        """
+        if count < 0:
+            raise SoCError(f"transfer count must be >= 0, got {count}")
+        self.pushed += count
+        self.popped += count
+
+    def record_overflow(self, count: int) -> None:
+        """Account ``count`` frames that entered but were lost to overflow.
+
+        Every arrival counts as a push (mirroring :meth:`push`, where the
+        incoming frame is stored and an older one is evicted); the
+        evictions accumulate in ``dropped``.
+        """
+        if count < 0:
+            raise SoCError(f"overflow count must be >= 0, got {count}")
+        self.pushed += count
+        self.dropped += count
+
     def pop(self) -> T:
         """Remove and return the oldest item."""
         if not self._queue:

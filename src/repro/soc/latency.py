@@ -111,6 +111,33 @@ class LatencyModel:
                 total += value
         return total
 
+    def service_interval(
+        self,
+        accelerator_trace: HWInferenceTrace,
+        core_ii_seconds: float = 0.0,
+    ) -> float:
+        """Per-message initiation interval of the ECU pipeline (seconds).
+
+        The receive path is a pipeline: while the accelerator core works
+        on frame *n*, the CPU prepares frame *n+1*.  The sustained rate
+        is therefore gated by the slowest stage — the CPU software path,
+        the driver's MMIO occupancy of the AXI port, or the core's own
+        initiation interval — not by the end-to-end latency sum (the
+        same II-gated definition ``SimReport.throughput_fps`` uses for
+        the core alone).
+        """
+        software = float(sum(self.segments.values()))
+        mmio = accelerator_trace.write_seconds + accelerator_trace.readback_seconds
+        return max(software, mmio, core_ii_seconds)
+
+    def sustained_fps(
+        self,
+        accelerator_trace: HWInferenceTrace,
+        core_ii_seconds: float = 0.0,
+    ) -> float:
+        """II-gated sustained messages/second of the ECU pipeline."""
+        return 1.0 / self.service_interval(accelerator_trace, core_ii_seconds)
+
     def throughput_fps(self, accelerator_trace: HWInferenceTrace) -> float:
         """Sustained messages/second of the single-threaded driver loop.
 
