@@ -1,0 +1,110 @@
+"""Micro-benchmark: the multi-channel gateway scheduler and arbitration.
+
+Times one monitoring run of a 3-channel gateway (one DoS-flooded
+segment) under both channel-advance orders — sequential vs interleaved
+virtual-time — and both accelerator deployments — one IP per channel vs
+one shared IP behind a round-robin arbiter.  Archives wall-times,
+aggregate sustained rates and per-channel effective drains to
+``benchmarks/output/BENCH_gateway.json`` so the scheduler's perf
+trajectory is tracked from this PR onward.
+
+A small detector is trained in-file (a few epochs on a short capture),
+so the benchmark runs in tens of seconds and needs none of the
+heavyweight benchmark fixtures.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.finn.ipgen import compile_model
+from repro.models.qmlp import QMLPConfig
+from repro.soc.arbiter import SharedAcceleratorArbiter
+from repro.soc.gateway import build_segment_gateway
+from repro.training.pipeline import train_ids_model
+from repro.training.trainer import TrainConfig
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+
+CHANNELS = 3
+DURATION = 4.0  #: seconds of bus traffic per channel
+
+
+@pytest.fixture(scope="module")
+def gateway_ip():
+    result = train_ids_model(
+        "dos",
+        model_config=QMLPConfig(hidden=(32, 16), weight_bits=4, act_bits=4, seed=7),
+        train_config=TrainConfig(epochs=6, seed=3),
+        duration=3.0,
+        seed=11,
+    )
+    return compile_model(result.model, name="bench-gateway-ip", target_fps=1e6)
+
+
+def _timed_monitor(ip, **kwargs):
+    # Fresh 3-channel gateway, channel 0 DoS-flooded for half the window.
+    gateway = build_segment_gateway(
+        ip,
+        channels=CHANNELS,
+        flood_window=(0.5, DURATION / 2),
+        vehicle_seed=30,
+        ecu_seed=40,
+        name="bench-gateway",
+    )
+    start = time.perf_counter()
+    report = gateway.monitor(duration=DURATION, with_metrics=False, **kwargs)
+    return time.perf_counter() - start, report
+
+
+def test_bench_gateway_schedules_and_arbitration(gateway_ip):
+    sequential_s, sequential = _timed_monitor(gateway_ip, schedule="sequential")
+    interleaved_s, interleaved = _timed_monitor(gateway_ip, schedule="interleaved")
+    _, shared = _timed_monitor(gateway_ip, arbiter=SharedAcceleratorArbiter())
+
+    # The interleaving is a scheduling change, not a result change.
+    for channel in interleaved.channels:
+        np.testing.assert_array_equal(
+            channel.report.predictions,
+            sequential.channel(channel.name).report.predictions,
+        )
+    # Sharing one IP over 3 channels cuts every drain rate and the aggregate.
+    assert shared.aggregate_sustained_fps < interleaved.aggregate_sustained_fps
+    for channel in shared.channels:
+        assert channel.grant is not None and channel.grant.slot_factor == CHANNELS
+
+    payload = {
+        "channels": CHANNELS,
+        "duration_s": DURATION,
+        "offered_frames": interleaved.total_frames,
+        "wall_time": {
+            "sequential_seconds": round(sequential_s, 6),
+            "interleaved_seconds": round(interleaved_s, 6),
+            "interleaved_overhead": round(interleaved_s / sequential_s, 3),
+        },
+        "sustained_fps": {
+            "per_channel_ip_aggregate": round(interleaved.aggregate_sustained_fps, 1),
+            "shared_ip_aggregate": round(shared.aggregate_sustained_fps, 1),
+            "shared_ip_per_channel": {
+                c.name: round(c.effective_drain_fps, 1) for c in shared.channels
+            },
+        },
+        "drops": {
+            "per_channel_ip": {c.name: c.dropped for c in interleaved.channels},
+            "shared_ip": {c.name: c.dropped for c in shared.channels},
+        },
+    }
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / "BENCH_gateway.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(
+        f"\ngateway {CHANNELS}x{DURATION:g}s: sequential {sequential_s:.3f}s, "
+        f"interleaved {interleaved_s:.3f}s "
+        f"({payload['wall_time']['interleaved_overhead']:.2f}x); "
+        f"sustained per-IP {interleaved.aggregate_sustained_fps:,.0f} msg/s "
+        f"vs shared-IP {shared.aggregate_sustained_fps:,.0f} msg/s"
+    )

@@ -1,5 +1,7 @@
 """E5 — the in-text ">8300 messages per second, near line rate" claim."""
 
+import pytest
+
 from repro.experiments.throughput import render_throughput, run_throughput
 
 
@@ -16,3 +18,8 @@ def test_bench_throughput(benchmark, context, archive):
     # Wire bounds are physics: ~3.7k fps at 500 kbit/s, ~7.4k at 1 Mbit/s.
     assert 3_500 < result.line_rate_500k_fps < 4_000
     assert 7_000 < result.line_rate_1m_fps < 8_000
+    # Gateway scale-out: sharing one IP over N channels divides the
+    # aggregate sustained rate by N (round-robin arbitration).
+    assert result.gateway_per_ip_fps == pytest.approx(
+        result.gateway_channels * result.gateway_shared_ip_fps
+    )

@@ -15,9 +15,11 @@ Run:  python examples/multi_ids_network.py
 import numpy as np
 
 from repro.can.attacks import DoSAttacker, FuzzyAttacker
+from repro.can.bus import BusSimulator
 from repro.datasets.carhacking import build_vehicle_bus, generate_capture
 from repro.datasets.features import BitFeatureEncoder
 from repro.finn.ipgen import compile_model
+from repro.soc.arbiter import SharedAcceleratorArbiter
 from repro.soc.device import ZCU104
 from repro.soc.driver import Overlay
 from repro.soc.ecu import IDSEnabledECU
@@ -80,25 +82,49 @@ def main() -> None:
             f"first-alert delay {np.mean(delays):.2f} ms over {len(delays)} bursts"
         )
 
-    print("\n== multi-channel gateway (streaming, real FIFO backpressure) ==")
-    # Two concurrent segments of the same vehicle: the powertrain bus is
-    # being DoS-flooded while the body bus sees a fuzzing campaign.
-    gateway = IDSGateway("vehicle-gateway")
-    powertrain = build_vehicle_bus(vehicle_seed=vehicle_seed)
-    powertrain.attach(DoSAttacker([(1.0, 3.0), (5.0, 7.0)], seed=7))
-    gateway.attach_channel(
-        "powertrain",
-        powertrain,
-        IDSEnabledECU(dos_ip, BitFeatureEncoder(), name="powertrain-ids", seed=21),
+    print("\n== multi-channel gateway (interleaved streaming, per-channel IPs) ==")
+
+    # Three concurrent segments of the same vehicle: the powertrain bus
+    # is being DoS-flooded while the body bus sees a fuzzing campaign;
+    # the telematics segment is parked-car quiet (no traffic at all) and
+    # must come back as an idle channel, not an error.  Channels advance
+    # in virtual-time order, so the flooded powertrain drops its own
+    # frames without delaying the body segment's verdicts.
+    def build_gateway() -> IDSGateway:
+        gateway = IDSGateway("vehicle-gateway")
+        powertrain = build_vehicle_bus(vehicle_seed=vehicle_seed)
+        powertrain.attach(DoSAttacker([(1.0, 3.0), (5.0, 7.0)], seed=7))
+        gateway.attach_channel(
+            "powertrain",
+            powertrain,
+            IDSEnabledECU(dos_ip, BitFeatureEncoder(), name="powertrain-ids", seed=21),
+        )
+        body = build_vehicle_bus(vehicle_seed=vehicle_seed)
+        body.attach(FuzzyAttacker([(2.0, 4.0), (6.0, 8.0)], seed=8))
+        gateway.attach_channel(
+            "body",
+            body,
+            IDSEnabledECU(fuzzy_ip, BitFeatureEncoder(), name="body-ids", seed=22),
+        )
+        gateway.attach_channel(
+            "telematics",
+            BusSimulator(),  # no sources attached: a quiet segment
+            IDSEnabledECU(fuzzy_ip, BitFeatureEncoder(), name="telematics-ids", seed=23),
+        )
+        return gateway
+
+    print(build_gateway().monitor(duration=8.0).summary())
+
+    print("\n== same gateway, both detectors sharing one accelerator slot ==")
+    # The multi-model overlay carries both IPs, but the AXI port serves
+    # one inference at a time: model the channels time-multiplexing the
+    # accelerator with fixed-priority arbitration (safety-critical
+    # powertrain first).  Every channel's drain rate drops, so the DoS
+    # flood now also costs the powertrain segment more of its own frames.
+    arbiter = SharedAcceleratorArbiter(
+        policy="fixed-priority", priorities={"powertrain": 0, "body": 1}
     )
-    body = build_vehicle_bus(vehicle_seed=vehicle_seed)
-    body.attach(FuzzyAttacker([(2.0, 4.0), (6.0, 8.0)], seed=8))
-    gateway.attach_channel(
-        "body",
-        body,
-        IDSEnabledECU(fuzzy_ip, BitFeatureEncoder(), name="body-ids", seed=22),
-    )
-    print(gateway.monitor(duration=8.0).summary())
+    print(build_gateway().monitor(duration=8.0, arbiter=arbiter).summary())
 
 
 if __name__ == "__main__":

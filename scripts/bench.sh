@@ -3,6 +3,8 @@
 #
 # Leaves the perf trajectory on disk:
 #   benchmarks/output/BENCH_encoders.json  — scalar vs. vectorised encoding
+#   benchmarks/output/BENCH_gateway.json   — sequential vs. interleaved gateway
+#                                            scheduling, per-IP vs. shared-IP rates
 #
 # The paper-table benchmarks (test_bench_table*.py etc.) train at full
 # scale and are not part of this quick loop; run them directly when
@@ -15,6 +17,7 @@ echo "== tier-1 tests =="
 python -m pytest -x -q tests
 
 echo "== micro-benchmarks =="
-python -m pytest -q -s benchmarks/test_bench_encoder.py benchmarks/test_bench_micro.py
+python -m pytest -q -s benchmarks/test_bench_encoder.py benchmarks/test_bench_micro.py \
+    benchmarks/test_bench_gateway.py
 
-echo "perf trajectory written to benchmarks/output/BENCH_encoders.json"
+echo "perf trajectory written to benchmarks/output/BENCH_encoders.json and BENCH_gateway.json"

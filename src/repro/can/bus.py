@@ -86,7 +86,9 @@ class BusSimulator:
         """Simulate ``duration`` seconds and return observed frames in order.
 
         Frames still queued or in flight at the horizon are dropped (the
-        capture simply ends), matching a real logging session.
+        capture simply ends), matching a real logging session: every
+        returned record has ``timestamp <= duration`` (reception
+        completed within the window).
         """
         if duration <= 0:
             raise CANError(f"duration must be positive, got {duration}")
@@ -123,7 +125,11 @@ class BusSimulator:
             _, _, _, winner = heapq.heappop(pending)
             start = max(bus_free_at, winner.release_time)
             end = start + winner.frame.duration(self.bitrate)
-            if start >= duration:
+            if end > duration:
+                # The capture horizon falls while this frame is (or
+                # would be) on the wire: it never completes within the
+                # window, and the serialised bus stays busy past the
+                # horizon, so nothing behind it can complete either.
                 break
             records.append(
                 BusRecord(

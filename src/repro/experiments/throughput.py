@@ -16,17 +16,25 @@ against it under *both* throughput conventions:
   receive path, bounded by its slowest stage (CPU software path, driver
   MMIO, or core initiation interval), the same definition
   ``SimReport.throughput_fps`` uses for the core alone.
+
+The experiment also scales the claim out to the multi-segment gateway
+deployment: a 3-channel gateway is monitored once with a detector IP
+per channel and once with all channels time-multiplexing *one* IP
+behind a round-robin arbiter, so the table shows what sharing the
+accelerator costs in aggregate sustained rate.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.can.bus import BITRATE_HS_CAN, BITRATE_HS_CAN_MAX
 from repro.can.frame import max_frame_bits
 from repro.datasets.features import BitFeatureEncoder
 from repro.experiments.context import ExperimentContext
+from repro.soc.arbiter import SharedAcceleratorArbiter
 from repro.soc.ecu import IDSEnabledECU
+from repro.soc.gateway import GatewayReport, build_segment_gateway
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 
@@ -43,6 +51,11 @@ class ThroughputResult:
     line_rate_500k_fps: float
     line_rate_1m_fps: float
     paper_claim_fps: float = 8300.0
+    gateway_channels: int = 0  #: segments in the gateway scale-out run
+    gateway_per_ip_fps: float = 0.0  #: aggregate sustained, one IP per channel
+    gateway_shared_ip_fps: float = 0.0  #: aggregate sustained, one shared IP
+    #: per-channel effective drain rates under the shared-IP arbiter
+    gateway_shared_ip_channel_fps: dict[str, float] = field(default_factory=dict)
 
     @property
     def near_line_rate_1m(self) -> bool:
@@ -59,8 +72,37 @@ class ThroughputResult:
         return self.ecu_inverse_latency_fps >= self.paper_claim_fps
 
 
-def run_throughput(context: ExperimentContext, eval_frames: int = 4000) -> ThroughputResult:
-    """Measure sustained ECU throughput and compute wire bounds."""
+def _monitor_gateway(
+    context: ExperimentContext,
+    channels: int,
+    duration: float,
+    arbiter: SharedAcceleratorArbiter | None,
+) -> GatewayReport:
+    """One N-segment gateway run (channel 0 DoS-flooded), fresh ECUs."""
+    seed = derive_seed(context.settings.seed, "throughput-gateway")
+    gateway = build_segment_gateway(
+        context.ip("dos"),
+        channels=channels,
+        flood_window=(0.0, duration),
+        vehicle_seed=seed,
+        ecu_seed=seed,
+        name="throughput-gateway",
+    )
+    return gateway.monitor(duration=duration, with_metrics=False, arbiter=arbiter)
+
+
+def run_throughput(
+    context: ExperimentContext,
+    eval_frames: int = 4000,
+    gateway_channels: int = 3,
+    gateway_duration: float = 1.0,
+) -> ThroughputResult:
+    """Measure sustained ECU throughput and compute wire bounds.
+
+    Beyond the single-ECU figures, runs the ``gateway_channels``-segment
+    gateway twice — per-channel IPs vs one round-robin-shared IP — so
+    the result carries both deployments' aggregate sustained rates.
+    """
     ip = context.ip("dos")
     ecu = IDSEnabledECU(
         ip,
@@ -70,12 +112,30 @@ def run_throughput(context: ExperimentContext, eval_frames: int = 4000) -> Throu
     )
     report = ecu.process_capture(context.capture("dos").records[:eval_frames], with_metrics=False)
     bits_per_frame = max_frame_bits(dlc=8)  # highest payload capacity, worst-case stuffing
+    per_ip = shared = None
+    if gateway_channels:  # 0 skips the scale-out runs (single-ECU figures only)
+        per_ip = _monitor_gateway(context, gateway_channels, gateway_duration, arbiter=None)
+        shared = _monitor_gateway(
+            context, gateway_channels, gateway_duration, arbiter=SharedAcceleratorArbiter()
+        )
     return ThroughputResult(
         ecu_throughput_fps=report.throughput_fps,
         ecu_inverse_latency_fps=report.inverse_latency_fps,
         hw_core_fps=ip.throughput_fps,
         line_rate_500k_fps=BITRATE_HS_CAN / bits_per_frame,
         line_rate_1m_fps=BITRATE_HS_CAN_MAX / bits_per_frame,
+        gateway_channels=gateway_channels,
+        gateway_per_ip_fps=per_ip.aggregate_sustained_fps if per_ip else 0.0,
+        gateway_shared_ip_fps=shared.aggregate_sustained_fps if shared else 0.0,
+        gateway_shared_ip_channel_fps=(
+            {
+                c.name: c.effective_drain_fps
+                for c in shared.channels
+                if c.effective_drain_fps is not None
+            }
+            if shared
+            else {}
+        ),
     )
 
 
@@ -103,4 +163,20 @@ def render_throughput(result: ThroughputResult) -> Table:
         ]
     )
     table.add_row(["FPGA core alone", f"{result.hw_core_fps:,.0f}", "accelerator steady-state"])
+    if result.gateway_channels:
+        n = result.gateway_channels
+        table.add_row(
+            [
+                f"{n}-channel gateway (per-channel IPs)",
+                f"{result.gateway_per_ip_fps:,.0f}",
+                "aggregate sustained, one IP per segment",
+            ]
+        )
+        table.add_row(
+            [
+                f"{n}-channel gateway (shared IP)",
+                f"{result.gateway_shared_ip_fps:,.0f}",
+                f"round-robin arbitration, each channel 1/{n} of the slots",
+            ]
+        )
     return table

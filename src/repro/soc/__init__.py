@@ -11,19 +11,30 @@ accelerator over AXI.  This package models that platform:
 * :mod:`~repro.soc.driver` — a PYNQ-style ``Overlay`` facade.
 * :mod:`~repro.soc.ecu` — the receive-path pipeline (interface → FIFO
   → feature encode → accelerator → verdict) with latency accounting,
-  including the streaming engine with real FIFO backpressure.
+  including the streaming engine (resumable per-channel sessions with
+  real FIFO backpressure).
 * :mod:`~repro.soc.gateway` — multi-channel gateway: several buses,
-  each scanned by its own IDS-ECU, with aggregate accounting.
+  each scanned by its own IDS-ECU, interleaved in virtual-time order
+  with aggregate accounting.
+* :mod:`~repro.soc.arbiter` — shared-accelerator arbitration: N
+  channels time-multiplexing one IDS IP (round-robin/fixed-priority).
 * :mod:`~repro.soc.power` — PMBus-style rail sampling and energy.
 * :mod:`~repro.soc.latency` — the end-to-end per-message latency model.
 * :mod:`~repro.soc.platforms` — GPU/Jetson/RPi comparison platforms.
 """
 
 from repro.soc.accelerator import HWInferenceTrace, MemoryMappedAccelerator
+from repro.soc.arbiter import ArbitrationGrant, SharedAcceleratorArbiter
 from repro.soc.axi import AXILiteBus, AXIPort
 from repro.soc.device import DEVICES, FPGADevice, ZCU104
 from repro.soc.driver import Overlay
-from repro.soc.ecu import ECUReport, IDSEnabledECU, simulate_fifo_admission
+from repro.soc.ecu import (
+    ECUReport,
+    ECUStreamSession,
+    IDSEnabledECU,
+    StreamChunk,
+    simulate_fifo_admission,
+)
 from repro.soc.fifo import RxFIFO
 from repro.soc.gateway import ChannelResult, GatewayReport, IDSGateway
 from repro.soc.latency import LatencyBreakdown, LatencyModel
@@ -33,14 +44,18 @@ from repro.soc.power import PMBusSampler, PowerModel, PowerReport
 __all__ = [
     "AXILiteBus",
     "AXIPort",
+    "ArbitrationGrant",
     "ChannelResult",
     "DEVICES",
     "ECUReport",
+    "ECUStreamSession",
     "FPGADevice",
     "GatewayReport",
     "HWInferenceTrace",
     "IDSEnabledECU",
     "IDSGateway",
+    "SharedAcceleratorArbiter",
+    "StreamChunk",
     "LatencyBreakdown",
     "LatencyModel",
     "MemoryMappedAccelerator",

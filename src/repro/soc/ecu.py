@@ -20,6 +20,19 @@ capture-scale entry points exist:
   simulated faithfully — under a DoS flood the oldest queued frames
   age out exactly as the hardware buffer's drop-oldest policy dictates,
   and dropped frames are excluded from predictions and metrics.
+
+The streaming engine is built on a *resumable stepper*:
+:meth:`IDSEnabledECU.open_stream` returns an :class:`ECUStreamSession`
+that encodes and classifies one chunk per :meth:`~ECUStreamSession.step`
+call and reports the chunk's virtual-time window and FIFO state.
+:meth:`process_stream` simply runs a session to completion; the
+multi-channel gateway (:mod:`repro.soc.gateway`) instead holds one
+session per channel and advances them in virtual-time order, so a
+flooded segment cannot delay another segment's verdicts.  A session's
+``drain_fps`` may be the channel's arbitrated share of a *shared*
+accelerator (:mod:`repro.soc.arbiter`): the arbitration wait is folded
+into the effective service interval, so :func:`simulate_fifo_admission`
+sees the slower shared service without modification.
 """
 
 from __future__ import annotations
@@ -42,7 +55,81 @@ from repro.soc.power import PMBusSampler, PowerModel, energy_per_inference
 from repro.training.metrics import ids_metrics
 from repro.utils.rng import new_rng
 
-__all__ = ["ECUReport", "IDSEnabledECU", "simulate_fifo_admission"]
+__all__ = [
+    "ECUReport",
+    "ECUStreamSession",
+    "IDSEnabledECU",
+    "StreamChunk",
+    "simulate_fifo_admission",
+]
+
+
+def _simulate_fifo_admission_events(
+    timestamps: np.ndarray,
+    service_seconds: float,
+    capacity: int,
+) -> tuple[np.ndarray, int, np.ndarray, np.ndarray]:
+    """:func:`simulate_fifo_admission` plus per-frame eviction times.
+
+    The fourth return value maps each frame to the virtual time the
+    drop-oldest policy evicted it from the buffer; kept frames carry
+    ``+inf`` (they leave by being serviced, at ``timestamp + wait``).
+    Dropped frames *occupy FIFO slots until that instant*, which is why
+    occupancy reconstruction needs it.
+    """
+    timestamps = np.asarray(timestamps, dtype=np.float64)
+    n = timestamps.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=bool), 0, np.zeros(0), np.zeros(0)
+    if service_seconds <= 0:
+        raise SoCError(f"service time must be positive, got {service_seconds}")
+    if np.any(np.diff(timestamps) < 0):
+        raise SoCError("stream timestamps must be non-decreasing")
+
+    index = np.arange(n)
+    # Service-start times under an unbounded queue: starts[k] = g[k] + s*k
+    # with g = running max of (t[k] - s*k)  <=>  f[k] = max(t[k], f[k-1]) + s.
+    g = np.maximum.accumulate(timestamps - service_seconds * index)
+    starts = g + service_seconds * index
+    # Occupancy seen by arrival k: earlier frames whose service has not
+    # begun strictly before t[k] are still sitting in the FIFO.
+    waiting = index - np.searchsorted(starts, timestamps, side="left")
+    peak = int(waiting.max()) + 1  # occupancy just after the push
+    if peak <= capacity:
+        return np.ones(n, dtype=bool), peak, starts - timestamps, np.full(n, np.inf)
+
+    # Overflow: exact drop-oldest replay (only under floods).
+    kept = np.ones(n, dtype=bool)
+    waits = np.zeros(n, dtype=np.float64)
+    evictions = np.full(n, np.inf)
+    queue: deque[int] = deque()
+    t_free = -np.inf
+    max_occupancy = 0
+
+    def serve(head: int, begin: float) -> float:
+        waits[head] = begin - timestamps[head]
+        return begin + service_seconds
+
+    for i in range(n):
+        t_arrival = timestamps[i]
+        while queue:
+            head_arrival = timestamps[queue[0]]
+            begin = t_free if t_free > head_arrival else head_arrival
+            if begin >= t_arrival:
+                break
+            t_free = serve(queue.popleft(), begin)
+        if len(queue) >= capacity:
+            victim = queue.popleft()
+            kept[victim] = False
+            evictions[victim] = t_arrival
+        queue.append(i)
+        if len(queue) > max_occupancy:
+            max_occupancy = len(queue)
+    while queue:  # end of capture: the ECU finishes its backlog
+        head = queue.popleft()
+        begin = t_free if t_free > timestamps[head] else timestamps[head]
+        t_free = serve(head, begin)
+    return kept, max_occupancy, waits, evictions
 
 
 def simulate_fifo_admission(
@@ -68,55 +155,9 @@ def simulate_fifo_admission(
     the exact per-frame drop-oldest simulation only runs when the
     vectorised occupancy check shows the buffer would overflow.
     """
-    timestamps = np.asarray(timestamps, dtype=np.float64)
-    n = timestamps.shape[0]
-    if n == 0:
-        return np.zeros(0, dtype=bool), 0, np.zeros(0)
-    if service_seconds <= 0:
-        raise SoCError(f"service time must be positive, got {service_seconds}")
-    if np.any(np.diff(timestamps) < 0):
-        raise SoCError("stream timestamps must be non-decreasing")
-
-    index = np.arange(n)
-    # Service-start times under an unbounded queue: starts[k] = g[k] + s*k
-    # with g = running max of (t[k] - s*k)  <=>  f[k] = max(t[k], f[k-1]) + s.
-    g = np.maximum.accumulate(timestamps - service_seconds * index)
-    starts = g + service_seconds * index
-    # Occupancy seen by arrival k: earlier frames whose service has not
-    # begun strictly before t[k] are still sitting in the FIFO.
-    waiting = index - np.searchsorted(starts, timestamps, side="left")
-    peak = int(waiting.max()) + 1  # occupancy just after the push
-    if peak <= capacity:
-        return np.ones(n, dtype=bool), peak, starts - timestamps
-
-    # Overflow: exact drop-oldest replay (only under floods).
-    kept = np.ones(n, dtype=bool)
-    waits = np.zeros(n, dtype=np.float64)
-    queue: deque[int] = deque()
-    t_free = -np.inf
-    max_occupancy = 0
-
-    def serve(head: int, begin: float) -> float:
-        waits[head] = begin - timestamps[head]
-        return begin + service_seconds
-
-    for i in range(n):
-        t_arrival = timestamps[i]
-        while queue:
-            head_arrival = timestamps[queue[0]]
-            begin = t_free if t_free > head_arrival else head_arrival
-            if begin >= t_arrival:
-                break
-            t_free = serve(queue.popleft(), begin)
-        if len(queue) >= capacity:
-            kept[queue.popleft()] = False
-        queue.append(i)
-        if len(queue) > max_occupancy:
-            max_occupancy = len(queue)
-    while queue:  # end of capture: the ECU finishes its backlog
-        head = queue.popleft()
-        begin = t_free if t_free > timestamps[head] else timestamps[head]
-        t_free = serve(head, begin)
+    kept, max_occupancy, waits, _ = _simulate_fifo_admission_events(
+        timestamps, service_seconds, capacity
+    )
     return kept, max_occupancy, waits
 
 
@@ -262,12 +303,16 @@ class IDSEnabledECU:
         max_fifo_occupancy: int | None = None,
         queue_waits: np.ndarray | None = None,
         kept_indices: np.ndarray | None = None,
+        sustained_fps: float | None = None,
     ) -> ECUReport:
         """Assemble the report for ``capture`` = the serviced frames.
 
         ``queue_waits`` (stream path) is the per-frame time spent in the
         RX FIFO before service; it is added to the latency samples so
         the reported latency stays end-to-end from interface arrival.
+        ``sustained_fps`` overrides the reported sustained rate (stream
+        path: the drain rate actually in force, e.g. an arbitrated
+        share of a shared accelerator).
         """
         trace = self.reference_trace()
         breakdown = self.latency_model.end_to_end(trace)
@@ -293,31 +338,11 @@ class IDSEnabledECU:
             fifo_dropped=fifo_dropped,
             metrics=metrics,
             alerts=np.flatnonzero(predictions == 1).tolist(),
-            sustained_fps_value=self.sustained_fps(),
+            sustained_fps_value=sustained_fps if sustained_fps is not None else self.sustained_fps(),
             num_processed=len(capture),
             max_fifo_occupancy=max_fifo_occupancy,
             kept_indices=kept_indices,
         )
-
-    def _infer_chunked(self, capture: CaptureArray, chunk_size: int) -> np.ndarray:
-        """Vectorised encode + classify, chunk by chunk.
-
-        Window encoders need the preceding ``encoder.lookback`` frames
-        to reproduce whole-capture encoding at chunk boundaries; the
-        context rows are re-encoded and their outputs discarded, so the
-        result is bit-identical to a single whole-capture call.
-        """
-        total = len(capture)
-        predictions = np.empty(total, dtype=np.int64)
-        lookback = getattr(self.encoder, "lookback", 0)
-        start = 0
-        while start < total:
-            stop = min(start + chunk_size, total)
-            context = min(lookback, start)
-            features = self.encoder.encode_batch(capture[start - context : stop])
-            predictions[start:stop] = self.accelerator.run_batch(features[context:])
-            start = stop
-        return predictions
 
     # -- capture-scale entry points ---------------------------------------
     def process_capture(
@@ -349,6 +374,31 @@ class IDSEnabledECU:
             with_metrics=with_metrics,
         )
 
+    def open_stream(
+        self,
+        records: Sequence[CANLogRecord] | CaptureArray,
+        chunk_size: int = 4096,
+        drain_fps: float | None = None,
+        with_metrics: bool = True,
+    ) -> "ECUStreamSession":
+        """Open a resumable streaming session over one capture.
+
+        The session exposes the chunk loop of :meth:`process_stream` as
+        an explicit stepper: each :meth:`ECUStreamSession.step` encodes
+        and classifies one chunk of admitted frames and returns the
+        chunk's virtual-time window plus the RX-FIFO state at its end.
+        The gateway uses this to interleave several channels in
+        virtual-time order; ``drain_fps`` may be an arbitrated share of
+        a shared accelerator (see :mod:`repro.soc.arbiter`).
+        """
+        return ECUStreamSession(
+            self,
+            CaptureArray.coerce(records),
+            chunk_size=chunk_size,
+            drain_fps=drain_fps,
+            with_metrics=with_metrics,
+        )
+
     def process_stream(
         self,
         records: Sequence[CANLogRecord] | CaptureArray,
@@ -372,32 +422,186 @@ class IDSEnabledECU:
         include the simulated queueing delay, so p99 latency degrades
         visibly as the FIFO fills; ``kept_indices`` maps each serviced
         frame back to its position in the original capture.
+
+        This is the single-channel convenience wrapper around
+        :meth:`open_stream`: it runs the session to completion in one
+        call.
         """
-        capture = CaptureArray.coerce(records)
+        session = self.open_stream(
+            records,
+            chunk_size=chunk_size,
+            drain_fps=drain_fps,
+            with_metrics=with_metrics,
+        )
+        while not session.done:
+            session.step()
+        return session.finish()
+
+
+@dataclass(frozen=True)
+class StreamChunk:
+    """One stepper advance: a contiguous run of serviced frames.
+
+    ``start``/``stop`` index into the session's *serviced* frames (use
+    :attr:`ECUStreamSession.kept_indices` to map back to capture
+    positions).  Times are virtual capture time, not wall time.
+    """
+
+    start: int
+    stop: int
+    arrival_time: float  #: interface arrival of the chunk's first frame
+    completion_time: float  #: service completion of the chunk's last frame
+    #: frames occupying the RX FIFO at ``completion_time`` — queued
+    #: survivors plus flood casualties not yet evicted by drop-oldest
+    fifo_backlog: int
+
+    @property
+    def num_serviced(self) -> int:
+        return self.stop - self.start
+
+
+class ECUStreamSession:
+    """Resumable per-channel stepper over one capture.
+
+    FIFO admission is resolved up front (it is a closed-form function
+    of arrival timestamps, service interval and capacity — see
+    :func:`simulate_fifo_admission`); what the stepper resumes is the
+    expensive part, the chunked encode + classify of admitted frames.
+    Each :meth:`step` advances one chunk and returns its
+    :class:`StreamChunk`; :meth:`finish` assembles the
+    :class:`ECUReport` once every chunk has been stepped.
+
+    Window encoders need the preceding ``encoder.lookback`` frames to
+    reproduce whole-capture encoding at chunk boundaries; the context
+    rows are re-encoded and their outputs discarded, so the assembled
+    predictions are bit-identical to a single whole-capture call — and
+    therefore independent of how steps from different sessions are
+    interleaved by a scheduler.
+    """
+
+    def __init__(
+        self,
+        ecu: "IDSEnabledECU",
+        capture: CaptureArray,
+        chunk_size: int = 4096,
+        drain_fps: float | None = None,
+        with_metrics: bool = True,
+    ):
         if len(capture) == 0:
             raise SoCError("cannot process an empty capture")
         if chunk_size < 1:
             raise SoCError(f"chunk_size must be >= 1, got {chunk_size}")
         if drain_fps is not None and drain_fps <= 0:
             raise SoCError(f"drain_fps must be positive, got {drain_fps}")
+        self.ecu = ecu
+        self.chunk_size = int(chunk_size)
+        self.with_metrics = with_metrics
+        self.drain_fps = float(drain_fps) if drain_fps is not None else ecu.sustained_fps()
+        self._service_s = 1.0 / self.drain_fps
+        self._capture = capture
 
-        service_s = 1.0 / (drain_fps if drain_fps is not None else self.sustained_fps())
-        kept_mask, max_occupancy, queue_waits = simulate_fifo_admission(
-            capture.timestamps, service_s, self.fifo.capacity
+        kept_mask, self.max_occupancy, queue_waits, evictions = (
+            _simulate_fifo_admission_events(
+                capture.timestamps, self._service_s, ecu.fifo.capacity
+            )
         )
-        kept = capture[kept_mask]
-        dropped = len(capture) - len(kept)
-        self.fifo.transfer(len(kept))
-        self.fifo.record_overflow(dropped)
+        self._kept = capture[kept_mask]
+        self.fifo_dropped = len(capture) - len(self._kept)
+        self.kept_indices = np.flatnonzero(kept_mask)
+        self._queue_waits = queue_waits[kept_mask]
+        #: service-start times of admitted frames (non-decreasing: FIFO order)
+        self._starts = self._kept.timestamps + self._queue_waits
+        #: when drop-oldest evicted each casualty (sorted; empty if drop-free)
+        self._eviction_times = np.sort(evictions[~kept_mask])
+        ecu.fifo.transfer(len(self._kept))
+        ecu.fifo.record_overflow(self.fifo_dropped)
 
-        predictions = self._infer_chunked(kept, chunk_size)
-        return self._measure(
-            kept,
-            predictions,
-            num_frames=len(capture),
-            fifo_dropped=dropped,
-            with_metrics=with_metrics,
-            max_fifo_occupancy=max_occupancy,
-            queue_waits=queue_waits[kept_mask],
-            kept_indices=np.flatnonzero(kept_mask),
+        self._lookback = getattr(ecu.encoder, "lookback", 0)
+        self._predictions = np.empty(len(self._kept), dtype=np.int64)
+        self._cursor = 0
+        self._report: ECUReport | None = None
+
+    @property
+    def num_frames(self) -> int:
+        """Frames that arrived at the interface (serviced + dropped)."""
+        return len(self._capture)
+
+    @property
+    def num_serviced(self) -> int:
+        return len(self._kept)
+
+    @property
+    def done(self) -> bool:
+        return self._cursor >= len(self._kept)
+
+    @property
+    def next_arrival(self) -> float:
+        """Arrival time of the next unserviced frame (+inf when done).
+
+        This is the virtual-time key a scheduler orders sessions by:
+        always stepping the session with the earliest pending arrival
+        yields a deterministic interleaving that follows capture time
+        across channels.
+        """
+        if self.done:
+            return float("inf")
+        return float(self._kept.timestamps[self._cursor])
+
+    @property
+    def virtual_time(self) -> float:
+        """Service-completion time of the last stepped chunk (0 initially)."""
+        if self._cursor == 0:
+            return 0.0
+        return float(self._starts[self._cursor - 1] + self._service_s)
+
+    def _backlog_at(self, when: float) -> int:
+        """Frames occupying the FIFO at virtual time ``when``.
+
+        Every arrival occupies a slot until it *leaves* — serviced
+        frames at their service start, flood casualties at the instant
+        drop-oldest evicted them — so under a flood this reads at or
+        near capacity, consistent with ``max_occupancy``.
+        """
+        arrived = int(np.searchsorted(self._capture.timestamps, when, side="right"))
+        begun = int(np.searchsorted(self._starts, when, side="right"))
+        evicted = int(np.searchsorted(self._eviction_times, when, side="right"))
+        return arrived - begun - evicted
+
+    def step(self) -> StreamChunk:
+        """Encode + classify the next chunk of admitted frames."""
+        if self.done:
+            raise SoCError("stream session is exhausted")
+        start = self._cursor
+        stop = min(start + self.chunk_size, len(self._kept))
+        context = min(self._lookback, start)
+        features = self.ecu.encoder.encode_batch(self._kept[start - context : stop])
+        self._predictions[start:stop] = self.ecu.accelerator.run_batch(features[context:])
+        self._cursor = stop
+        completion = float(self._starts[stop - 1] + self._service_s)
+        return StreamChunk(
+            start=start,
+            stop=stop,
+            arrival_time=float(self._kept.timestamps[start]),
+            completion_time=completion,
+            fifo_backlog=self._backlog_at(completion),
         )
+
+    def finish(self) -> ECUReport:
+        """Assemble the report once every chunk has been stepped."""
+        if not self.done:
+            raise SoCError(
+                f"stream session has {len(self._kept) - self._cursor} frames pending"
+            )
+        if self._report is None:
+            self._report = self.ecu._measure(
+                self._kept,
+                self._predictions,
+                num_frames=len(self._capture),
+                fifo_dropped=self.fifo_dropped,
+                with_metrics=self.with_metrics,
+                max_fifo_occupancy=self.max_occupancy,
+                queue_waits=self._queue_waits,
+                kept_indices=self.kept_indices,
+                sustained_fps=self.drain_fps,
+            )
+        return self._report

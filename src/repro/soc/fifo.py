@@ -79,10 +79,25 @@ class RxFIFO(Generic[T]):
         self.popped += 1
         return self._queue.popleft()
 
-    def peek_window(self, count: int) -> list[T]:
-        """The newest ``count`` items, oldest first (time-series window)."""
+    def peek_window(self, count: int, require_full: bool = False) -> list[T]:
+        """The newest ``count`` items, oldest first (time-series window).
+
+        Return contract: the result holds ``min(count, len(self))``
+        items — during cold start (fewer than ``count`` frames buffered
+        yet) the window is *short*, never zero-padded.  Window encoders
+        that need exactly ``count`` frames must either check ``len()``
+        themselves or pass ``require_full=True``, which raises
+        :class:`~repro.errors.SoCError` on a short window instead of
+        silently returning one that could be mistaken for a full
+        history.
+        """
         if count < 1:
             raise SoCError(f"window size must be >= 1, got {count}")
+        if require_full and len(self._queue) < count:
+            raise SoCError(
+                f"peek_window({count}) on a FIFO holding only "
+                f"{len(self._queue)} item(s); cold-start window is not full"
+            )
         items = list(self._queue)
         return items[-count:]
 

@@ -7,38 +7,101 @@ segment is scanned by its own detector instance.  This module makes
 that deployment simulable at scale: each channel pairs a
 :class:`~repro.can.bus.BusSimulator` with an
 :class:`~repro.soc.ecu.IDSEnabledECU`, traffic is generated per segment
-and pushed through the ECU's streaming engine
-(:meth:`~repro.soc.ecu.IDSEnabledECU.process_stream`), and the gateway
+and pushed through the ECU's streaming engine, and the gateway
 aggregates throughput, drops and alerts across channels.
+
+**Scheduling model.**  :meth:`IDSGateway.monitor` holds one resumable
+:class:`~repro.soc.ecu.ECUStreamSession` per channel and, by default,
+*interleaves* them in virtual-time order: at every turn the session
+with the earliest pending frame arrival advances one chunk (ties break
+on attach order).  Channel state is fully per-session, so the
+interleaving is prediction-identical to draining each channel
+sequentially — what it buys is the correct *concurrency semantics*: a
+flooded segment spends its own FIFO budget and drops its own frames,
+while quieter segments keep their verdicts and their zero drop counts,
+exactly as N independent receive paths behave in hardware.  Pass
+``schedule="sequential"`` to reproduce the one-channel-at-a-time loop
+(useful for A/B benchmarks).
+
+**Arbitration model.**  With per-channel accelerator IPs every channel
+drains at its own sustained rate.  Pass a
+:class:`~repro.soc.arbiter.SharedAcceleratorArbiter` to model all
+channels time-multiplexing *one* IP over the AXI interconnect instead:
+the arbiter plans each channel's slot share (round-robin or
+fixed-priority) and the gateway opens that channel's session at the
+granted ``effective_drain_fps`` — the arbitration wait is folded into
+the drain rate, so FIFO admission, drops and queueing delay all see
+the slower shared service.
+
+A channel whose bus produces no traffic in the window yields an *idle*
+:class:`ChannelResult` (0 frames, 0 load, no report) rather than
+aborting the run: a quiet body segment is an ordinary overnight state,
+not an error.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
+from repro.can.attacks import DoSAttacker
 from repro.can.bus import BusSimulator, bus_load
 from repro.can.log import records_from_bus
 from repro.errors import SoCError
-from repro.soc.ecu import ECUReport, IDSEnabledECU
+from repro.soc.arbiter import ArbitrationGrant, SharedAcceleratorArbiter
+from repro.soc.ecu import ECUReport, ECUStreamSession, IDSEnabledECU
 
-__all__ = ["ChannelResult", "GatewayReport", "IDSGateway"]
+__all__ = [
+    "ChannelResult",
+    "GatewayReport",
+    "IDSGateway",
+    "SCHEDULES",
+    "build_segment_gateway",
+]
+
+#: Supported channel-advance orders for :meth:`IDSGateway.monitor`.
+SCHEDULES = ("interleaved", "sequential")
 
 
 @dataclass(frozen=True)
 class ChannelResult:
-    """What one gateway channel saw and did during a monitoring run."""
+    """What one gateway channel saw and did during a monitoring run.
+
+    ``report`` is ``None`` for an idle channel (no traffic in the
+    window); ``grant`` is set when a shared-accelerator arbiter was in
+    force and records the slot share this channel was granted.
+    """
 
     name: str
     bus_load: float  #: fraction of wire time occupied on this segment
-    report: ECUReport
+    report: ECUReport | None
+    effective_drain_fps: float | None = None  #: drain rate the session ran at
+    grant: ArbitrationGrant | None = None  #: shared-IP slot grant, if any
+
+    @property
+    def idle(self) -> bool:
+        """True when the segment produced no traffic in the window."""
+        return self.report is None
 
     @property
     def num_frames(self) -> int:
+        return self.report.num_frames if self.report is not None else 0
+
+    @property
+    def num_processed(self) -> int:
+        if self.report is None:
+            return 0
+        if self.report.num_processed is not None:
+            return self.report.num_processed
         return self.report.num_frames
 
     @property
     def dropped(self) -> int:
-        return self.report.fifo_dropped
+        return self.report.fifo_dropped if self.report is not None else 0
+
+    @property
+    def num_alerts(self) -> int:
+        return len(self.report.alerts) if self.report is not None else 0
 
 
 @dataclass
@@ -48,25 +111,24 @@ class GatewayReport:
     name: str
     duration: float
     channels: list[ChannelResult] = field(default_factory=list)
+    schedule: str = "interleaved"  #: channel-advance order used
+    arbitration_policy: str | None = None  #: shared-IP policy, if any
 
     @property
     def total_frames(self) -> int:
-        return sum(c.report.num_frames for c in self.channels)
+        return sum(c.num_frames for c in self.channels)
 
     @property
     def total_processed(self) -> int:
-        return sum(
-            c.report.num_processed if c.report.num_processed is not None else c.report.num_frames
-            for c in self.channels
-        )
+        return sum(c.num_processed for c in self.channels)
 
     @property
     def total_dropped(self) -> int:
-        return sum(c.report.fifo_dropped for c in self.channels)
+        return sum(c.dropped for c in self.channels)
 
     @property
     def total_alerts(self) -> int:
-        return sum(len(c.report.alerts) for c in self.channels)
+        return sum(c.num_alerts for c in self.channels)
 
     @property
     def aggregate_offered_fps(self) -> float:
@@ -80,18 +142,35 @@ class GatewayReport:
 
     @property
     def aggregate_sustained_fps(self) -> float:
-        """Sum of the per-channel II-gated sustained rates (capacity)."""
-        return sum(c.report.throughput_fps for c in self.channels)
+        """Sum of the per-channel sustained drain rates (capacity).
+
+        Under shared-IP arbitration each channel's rate is its granted
+        share, so this is the shared pipeline's aggregate capacity, not
+        N independent copies of it.
+        """
+        return sum(
+            c.report.throughput_fps for c in self.channels if c.report is not None
+        )
 
     @property
     def drop_rate(self) -> float:
         """Fraction of offered frames lost to RX-FIFO overflow."""
         return self.total_dropped / self.total_frames if self.total_frames else 0.0
 
+    def channel(self, name: str) -> ChannelResult:
+        """Look one channel's result up by name."""
+        for result in self.channels:
+            if result.name == name:
+                return result
+        raise SoCError(f"no channel {name!r} in gateway report")
+
     def summary(self) -> str:
+        mode = self.schedule
+        if self.arbitration_policy is not None:
+            mode += f", shared IP ({self.arbitration_policy})"
         lines = [
             f"Gateway {self.name!r}: {len(self.channels)} channels, "
-            f"{self.duration:g} s of traffic",
+            f"{self.duration:g} s of traffic [{mode}]",
             f"  offered:   {self.total_frames} frames "
             f"({self.aggregate_offered_fps:,.0f} msg/s aggregate)",
             f"  inspected: {self.total_processed} frames "
@@ -101,7 +180,16 @@ class GatewayReport:
             f"across channels, {self.total_alerts} alerts raised",
         ]
         for channel in self.channels:
+            if channel.report is None:
+                lines.append(f"  [{channel.name}] idle (no traffic in window)")
+                continue
             report = channel.report
+            extra = ""
+            if channel.grant is not None:
+                extra = (
+                    f", drain {channel.effective_drain_fps:,.0f} msg/s "
+                    f"({100.0 / channel.grant.slot_factor:.0f}% of shared-IP slots)"
+                )
             lines.append(
                 f"  [{channel.name}] load {100.0 * channel.bus_load:.1f}%, "
                 f"{report.num_frames} frames, "
@@ -112,6 +200,7 @@ class GatewayReport:
                     if report.metrics
                     else ""
                 )
+                + extra
             )
         return "\n".join(lines)
 
@@ -122,7 +211,8 @@ class IDSGateway:
     Channels are independent buses running concurrently (the simulator
     serialises each segment separately, as a real multi-port gateway's
     controllers do); the ECUs may share detector IPs or carry
-    per-segment models.
+    per-segment models, and may share one accelerator via a
+    :class:`~repro.soc.arbiter.SharedAcceleratorArbiter`.
     """
 
     def __init__(self, name: str = "can-gateway"):
@@ -147,6 +237,8 @@ class IDSGateway:
         chunk_size: int = 4096,
         drain_fps: float | None = None,
         with_metrics: bool = True,
+        schedule: str = "interleaved",
+        arbiter: SharedAcceleratorArbiter | None = None,
     ) -> GatewayReport:
         """Run every segment for ``duration`` seconds and scan its traffic.
 
@@ -154,28 +246,147 @@ class IDSGateway:
         backpressure (see :meth:`IDSEnabledECU.process_stream`);
         ``drain_fps`` overrides the per-ECU sustained rate, e.g. to
         model a slower shared post-processing stage.
+
+        ``schedule`` picks the channel-advance order: ``"interleaved"``
+        (default) steps sessions in virtual-time order of their next
+        pending arrival; ``"sequential"`` drains one channel at a time
+        in attach order.  Both produce identical per-channel reports —
+        sessions are independent — so the sequential path remains
+        available for A/B benchmarking of the scheduler itself.
+
+        ``arbiter`` models every active channel time-multiplexing one
+        shared accelerator IP: each channel's session drains at its
+        granted share of the (possibly ``drain_fps``-overridden) base
+        rate instead of the full rate.
         """
         if not self._channels:
             raise SoCError("gateway has no channels attached")
         if duration <= 0:
             raise SoCError(f"duration must be positive, got {duration}")
-        results: list[ChannelResult] = []
+        if schedule not in SCHEDULES:
+            raise SoCError(f"unknown schedule {schedule!r}; choose from {SCHEDULES}")
+
+        # Phase 1: capture every segment's window, flagging idle ones.
+        traffic: dict[str, tuple[float, list]] = {}
         for name, (bus, ecu) in self._channels.items():
             bus_records = bus.run(duration)
-            records = records_from_bus(bus_records)
-            if not records:
-                raise SoCError(f"channel {name!r} produced no traffic in {duration} s")
-            report = ecu.process_stream(
-                records,
+            traffic[name] = (
+                bus_load(bus_records, duration, bus.bitrate),
+                records_from_bus(bus_records),
+            )
+        active = [name for name, (_, records) in traffic.items() if records]
+
+        # Phase 2: plan drain rates (shared-IP arbitration, if any).
+        grants: dict[str, ArbitrationGrant] = {}
+        if arbiter is not None and active:
+            base = {
+                name: (
+                    drain_fps
+                    if drain_fps is not None
+                    else self._channels[name][1].sustained_fps()
+                )
+                for name in active
+            }
+            grants = arbiter.plan(base)
+
+        # Phase 3: open one resumable session per active channel.
+        sessions: dict[str, ECUStreamSession] = {}
+        for name in active:
+            _, ecu = self._channels[name]
+            channel_drain = (
+                grants[name].effective_drain_fps if name in grants else drain_fps
+            )
+            sessions[name] = ecu.open_stream(
+                traffic[name][1],
                 chunk_size=chunk_size,
-                drain_fps=drain_fps,
+                drain_fps=channel_drain,
                 with_metrics=with_metrics,
             )
+
+        # Phase 4: advance sessions to completion in the chosen order.
+        order = {name: position for position, name in enumerate(self._channels)}
+        if schedule == "sequential":
+            for name in active:
+                session = sessions[name]
+                while not session.done:
+                    session.step()
+        else:
+            pending = [name for name in active if not sessions[name].done]
+            while pending:
+                name = min(pending, key=lambda n: (sessions[n].next_arrival, order[n]))
+                sessions[name].step()
+                if sessions[name].done:
+                    pending.remove(name)
+
+        # Phase 5: aggregate.
+        results: list[ChannelResult] = []
+        for name in self._channels:
+            load, _ = traffic[name]
+            if name not in sessions:
+                results.append(ChannelResult(name=name, bus_load=load, report=None))
+                continue
+            session = sessions[name]
             results.append(
                 ChannelResult(
                     name=name,
-                    bus_load=bus_load(bus_records, duration, bus.bitrate),
-                    report=report,
+                    bus_load=load,
+                    report=session.finish(),
+                    effective_drain_fps=session.drain_fps,
+                    grant=grants.get(name),
                 )
             )
-        return GatewayReport(name=self.name, duration=duration, channels=results)
+        return GatewayReport(
+            name=self.name,
+            duration=duration,
+            channels=results,
+            schedule=schedule,
+            arbitration_policy=arbiter.policy if arbiter is not None else None,
+        )
+
+
+def build_segment_gateway(
+    ip,
+    channels: int = 3,
+    flood_window: tuple[float, float] | None = None,
+    flood_interval: float = 0.0003,
+    names: Sequence[str] | None = None,
+    vehicle_seed: int = 0,
+    ecu_seed: int = 0,
+    fifo_capacity: int = 64,
+    name: str = "segment-gateway",
+) -> IDSGateway:
+    """The canonical multi-segment scenario: N buses, channel 0 flooded.
+
+    Builds a gateway of ``channels`` same-family vehicle segments
+    (consecutive ``vehicle_seed`` values), each scanned by a fresh
+    :class:`~repro.soc.ecu.IDSEnabledECU` carrying ``ip`` behind the
+    deployed bit encoding; when ``flood_window`` is given, the first
+    segment is DoS-flooded over that interval.  This is the shared
+    fixture behind E5's gateway rows, the scheduler tests and the
+    gateway benchmark — one place to change the scenario.
+    """
+    from repro.datasets.carhacking import build_vehicle_bus
+    from repro.datasets.features import BitFeatureEncoder
+
+    if names is not None and len(names) != channels:
+        raise SoCError(f"expected {channels} channel names, got {len(names)}")
+    gateway = IDSGateway(name)
+    for index in range(channels):
+        channel_name = names[index] if names is not None else f"segment{index}"
+        bus = build_vehicle_bus(vehicle_seed=vehicle_seed + index)
+        if index == 0 and flood_window is not None:
+            bus.attach(
+                DoSAttacker([flood_window], interval=flood_interval, seed=vehicle_seed)
+            )
+        gateway.attach_channel(
+            channel_name,
+            bus,
+            IDSEnabledECU(
+                ip,
+                BitFeatureEncoder(),
+                name=f"{channel_name}-ids",
+                seed=ecu_seed + index,
+                fifo_capacity=fifo_capacity,
+            ),
+        )
+    return gateway

@@ -127,6 +127,39 @@ class TestAttackEffects:
             FuzzyAttacker(windows=[(0.0, 1.0)], interval=0.0)
 
 
+class TestCaptureHorizon:
+    """Frames in flight at the horizon are dropped, not recorded late."""
+
+    def test_frame_crossing_horizon_is_dropped(self):
+        # At 100 kbit/s an 8-byte frame occupies >1 ms of wire time, so a
+        # release 0.5 ms before the horizon starts but cannot complete.
+        bus = BusSimulator(bitrate=100_000)
+        frame = CANFrame(0x100, bytes(8))
+        assert frame.duration(100_000) > 0.001
+        bus.attach(_OneShot([(0.0, frame), (0.0995, frame)]))
+        records = bus.run(0.1)
+        assert len(records) == 1  # the late frame started before 0.1 but ended after
+        assert records[0].timestamp <= 0.1
+
+    def test_all_timestamps_within_window(self):
+        bus = BusSimulator(bitrate=500_000)
+        bus.attach(PeriodicSender(0x300, period=0.0004, jitter=0.0, phase=0.0, seed=1))
+        bus.attach(DoSAttacker(windows=[(0.0, 0.1)], interval=0.0003))
+        records = bus.run(0.1)
+        assert records
+        assert all(r.timestamp <= 0.1 for r in records)
+
+    def test_backlog_past_horizon_is_dropped(self):
+        """Queued frames whose transmission would begin after the horizon."""
+        bus = BusSimulator(bitrate=100_000)
+        # Ten simultaneous releases of >1 ms frames into a 2.5 ms window:
+        # only the first two can complete inside it.
+        bus.attach(_OneShot([(0.0, CANFrame(0x100 + i, bytes(8))) for i in range(10)]))
+        records = bus.run(0.0025)
+        assert 0 < len(records) < 10
+        assert all(r.timestamp <= 0.0025 for r in records)
+
+
 class TestBusLoad:
     def test_empty(self):
         assert bus_load([], 1.0, 500_000) == 0.0

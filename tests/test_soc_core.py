@@ -113,6 +113,28 @@ class TestRxFIFO:
             fifo.push(i)
         assert fifo.peek_window(3) == [2, 3, 4]
 
+    def test_peek_window_short_on_cold_start(self):
+        """Contract: min(count, len) items — a cold window is short, not padded."""
+        fifo = RxFIFO(capacity=8)
+        assert fifo.peek_window(3) == []
+        fifo.push(10)
+        fifo.push(11)
+        assert fifo.peek_window(3) == [10, 11]
+        assert fifo.peek_window(2) == [10, 11]
+
+    def test_peek_window_require_full(self):
+        """require_full turns a cold-start short window into an error."""
+        fifo = RxFIFO(capacity=8)
+        fifo.push(1)
+        with pytest.raises(SoCError):
+            fifo.peek_window(2, require_full=True)
+        fifo.push(2)
+        assert fifo.peek_window(2, require_full=True) == [1, 2]
+
+    def test_peek_window_size_validated(self):
+        with pytest.raises(SoCError):
+            RxFIFO(capacity=2).peek_window(0)
+
     def test_pop_empty(self):
         with pytest.raises(SoCError):
             RxFIFO(capacity=2).pop()
