@@ -1,0 +1,18 @@
+"""Smoke-lane plumbing shared by the smoke-aware micro-benchmarks.
+
+``scripts/bench.sh --smoke`` (the CI lane) exports
+``REPRO_BENCH_SMOKE=1``: benchmarks shrink to one iteration over tiny
+inputs and archive under ``benchmarks/output/smoke/`` (gitignored), so
+the committed trajectory in ``benchmarks/output/`` is never touched by
+a smoke run.  Import ``SMOKE`` and ``OUTPUT_DIR`` from here instead of
+re-deriving them per file.
+"""
+
+import os
+from pathlib import Path
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE") == "1"
+
+OUTPUT_DIR = Path(__file__).parent / "output"
+if SMOKE:
+    OUTPUT_DIR = OUTPUT_DIR / "smoke"

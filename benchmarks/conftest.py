@@ -9,13 +9,10 @@ paper tables on disk.
 
 from __future__ import annotations
 
-from pathlib import Path
-
 import pytest
+from _bench_lane import OUTPUT_DIR
 
 from repro.experiments.context import ExperimentContext, ExperimentSettings
-
-OUTPUT_DIR = Path(__file__).parent / "output"
 
 
 @pytest.fixture(scope="session")
@@ -26,8 +23,12 @@ def context() -> ExperimentContext:
 
 @pytest.fixture(scope="session")
 def archive():
-    """Callable writing a rendered table to benchmarks/output/<name>.txt."""
-    OUTPUT_DIR.mkdir(exist_ok=True)
+    """Callable writing a rendered table to the lane's output/<name>.txt.
+
+    Smoke runs archive under ``output/smoke/`` (see ``_bench_lane``),
+    so they can never overwrite the committed trajectory.
+    """
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
 
     def _write(name: str, text: str) -> None:
         (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")

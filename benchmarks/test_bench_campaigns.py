@@ -1,0 +1,92 @@
+"""Micro-benchmark: the attack-campaign scenario sweep.
+
+Drives every registered scenario through the campaign gateway in both
+deployments (per-channel IPs vs one shared round-robin IP) and archives
+wall time, aggregate sustained rates, drop rates and phase-detection
+counts to ``benchmarks/output/BENCH_campaigns.json`` — the scenario
+framework's perf trajectory from this PR onward.  The rendered sweep
+table is archived as ``EC-campaigns.txt``.
+
+A small detector is trained in-file (as in the gateway benchmark), so
+the file runs in around a minute and needs none of the heavyweight
+benchmark fixtures.  With ``REPRO_BENCH_SMOKE=1`` (CI smoke lane) the
+sweep shrinks to one iteration over tiny inputs and writes under
+``benchmarks/output/smoke/`` so the committed trajectory is untouched.
+"""
+
+import json
+import time
+
+import pytest
+from _bench_lane import OUTPUT_DIR, SMOKE
+
+from repro.experiments.campaigns import render_campaign_sweep, run_campaign_sweep
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+
+#: Campaign length every scenario is rescaled to.
+DURATION = 1.0 if SMOKE else 3.0
+
+
+@pytest.fixture(scope="module")
+def sweep_context():
+    # Smoke keeps 4 s of capture: the default attack schedule opens its
+    # first burst at t=2 s, so anything shorter trains on no attacks.
+    settings = (
+        ExperimentSettings(duration=4.0, epochs=2, seed=2023)
+        if SMOKE
+        else ExperimentSettings(duration=6.0, epochs=8, seed=2023)
+    )
+    return ExperimentContext(settings)
+
+
+def test_bench_campaign_sweep(sweep_context):
+    start = time.perf_counter()
+    result = run_campaign_sweep(sweep_context, duration=DURATION)
+    wall_s = time.perf_counter() - start
+    table = render_campaign_sweep(result)
+
+    # Structural invariants the sweep must keep as the catalogue grows.
+    assert len(result.scenario_names()) >= 10
+    assert len(result.runs) == 2 * len(result.scenario_names())
+    for run in result.runs:
+        assert run.report.total_frames > 0
+        # Truth windows attribute every injecting phase to its channel.
+        assert len(run.report.phase_outcomes) == len(run.campaign.phases)
+    for scenario in result.scenario_names():
+        per_ip = result.run(scenario, "per-ip")
+        shared = result.run(scenario, "shared-ip")
+        # Sharing one IP can only cost capacity, never add it.
+        assert (
+            shared.report.aggregate_sustained_fps
+            <= per_ip.report.aggregate_sustained_fps + 1e-9
+        )
+
+    payload = {
+        "scenarios": len(result.scenario_names()),
+        "campaign_duration_s": DURATION,
+        "wall_seconds": round(wall_s, 3),
+        "detector": result.detector,
+        "sustained_fps": {
+            f"{run.scenario}/{run.mode}": round(run.report.aggregate_sustained_fps, 1)
+            for run in result.runs
+        },
+        "drop_rate": {
+            f"{run.scenario}/{run.mode}": round(run.report.drop_rate, 4)
+            for run in result.runs
+        },
+        "phases_detected": {
+            f"{run.scenario}/{run.mode}": f"{run.phases_detected}/{run.phases_injecting}"
+            for run in result.runs
+        },
+    }
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / "BENCH_campaigns.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    (OUTPUT_DIR / "EC-campaigns.txt").write_text(table.render() + "\n", encoding="utf-8")
+    print()
+    print(table.render())
+    print(
+        f"\ncampaign sweep: {len(result.runs)} runs "
+        f"({len(result.scenario_names())} scenarios x 2 deployments) in {wall_s:.1f}s"
+    )

@@ -15,10 +15,10 @@ heavyweight benchmark fixtures.
 
 import json
 import time
-from pathlib import Path
 
 import numpy as np
 import pytest
+from _bench_lane import OUTPUT_DIR, SMOKE
 
 from repro.finn.ipgen import compile_model
 from repro.models.qmlp import QMLPConfig
@@ -27,10 +27,8 @@ from repro.soc.gateway import build_segment_gateway
 from repro.training.pipeline import train_ids_model
 from repro.training.trainer import TrainConfig
 
-OUTPUT_DIR = Path(__file__).parent / "output"
-
 CHANNELS = 3
-DURATION = 4.0  #: seconds of bus traffic per channel
+DURATION = 1.0 if SMOKE else 4.0  #: seconds of bus traffic per channel
 
 
 @pytest.fixture(scope="module")
@@ -38,7 +36,7 @@ def gateway_ip():
     result = train_ids_model(
         "dos",
         model_config=QMLPConfig(hidden=(32, 16), weight_bits=4, act_bits=4, seed=7),
-        train_config=TrainConfig(epochs=6, seed=3),
+        train_config=TrainConfig(epochs=3 if SMOKE else 6, seed=3),
         duration=3.0,
         seed=11,
     )
@@ -50,7 +48,7 @@ def _timed_monitor(ip, **kwargs):
     gateway = build_segment_gateway(
         ip,
         channels=CHANNELS,
-        flood_window=(0.5, DURATION / 2),
+        flood_window=(DURATION * 0.125, DURATION / 2),
         vehicle_seed=30,
         ecu_seed=40,
         name="bench-gateway",
@@ -97,7 +95,7 @@ def test_bench_gateway_schedules_and_arbitration(gateway_ip):
             "shared_ip": {c.name: c.dropped for c in shared.channels},
         },
     }
-    OUTPUT_DIR.mkdir(exist_ok=True)
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
     (OUTPUT_DIR / "BENCH_gateway.json").write_text(
         json.dumps(payload, indent=2) + "\n", encoding="utf-8"
     )

@@ -24,7 +24,12 @@ def main() -> None:
         if fast
         else ExperimentSettings(duration=16.0, epochs=10, seed=2023)
     )
-    report = run_all(settings, include_dse=not fast, include_baselines=not fast)
+    report = run_all(
+        settings,
+        include_dse=not fast,
+        include_baselines=not fast,
+        include_campaigns=not fast,
+    )
     for key in sorted(report):
         print(f"\n{'=' * 70}\n{key}\n{'=' * 70}")
         print(report[key])

@@ -2,22 +2,56 @@
 # Tier-1 test suite plus the library micro-benchmarks.
 #
 # Leaves the perf trajectory on disk:
-#   benchmarks/output/BENCH_encoders.json  — scalar vs. vectorised encoding
-#   benchmarks/output/BENCH_gateway.json   — sequential vs. interleaved gateway
-#                                            scheduling, per-IP vs. shared-IP rates
+#   benchmarks/output/BENCH_encoders.json   — scalar vs. vectorised encoding
+#   benchmarks/output/BENCH_gateway.json    — sequential vs. interleaved gateway
+#                                             scheduling, per-IP vs. shared-IP rates
+#   benchmarks/output/BENCH_campaigns.json  — attack-campaign sweep rates/drops
+#
+# Usage:
+#   scripts/bench.sh            full run: tier-1 tests + micro-benchmarks
+#   scripts/bench.sh --smoke    CI lane: one iteration over tiny inputs,
+#                               archived under benchmarks/output/smoke/ and
+#                               checked against the committed trajectory with
+#                               scripts/check_bench_regression.py
 #
 # The paper-table benchmarks (test_bench_table*.py etc.) train at full
 # scale and are not part of this quick loop; run them directly when
 # regenerating the tables.
 set -euo pipefail
-cd "$(dirname "$0")/.."
+
+# Resolve the repo root from this script's own location (not the CWD,
+# which differs between CI runners and local shells).
+SCRIPT_DIR="$(cd -- "$(dirname -- "${BASH_SOURCE[0]}")" >/dev/null 2>&1 && pwd -P)"
+REPO_ROOT="$(dirname -- "$SCRIPT_DIR")"
+cd -- "$REPO_ROOT"
 export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
 
-echo "== tier-1 tests =="
-python -m pytest -x -q tests
+SMOKE=0
+for arg in "$@"; do
+    case "$arg" in
+        --smoke) SMOKE=1 ;;
+        *) echo "usage: $0 [--smoke]" >&2; exit 2 ;;
+    esac
+done
 
-echo "== micro-benchmarks =="
-python -m pytest -q -s benchmarks/test_bench_encoder.py benchmarks/test_bench_micro.py \
+MICRO_BENCHES=(
+    benchmarks/test_bench_encoder.py
     benchmarks/test_bench_gateway.py
+    benchmarks/test_bench_campaigns.py
+)
 
-echo "perf trajectory written to benchmarks/output/BENCH_encoders.json and BENCH_gateway.json"
+if [ "$SMOKE" -eq 1 ]; then
+    echo "== micro-benchmarks (smoke: one iteration, tiny inputs) =="
+    REPRO_BENCH_SMOKE=1 python -m pytest -q -s "${MICRO_BENCHES[@]}"
+    echo "== bench-regression check (committed trajectory vs smoke run) =="
+    python scripts/check_bench_regression.py \
+        --baseline-dir benchmarks/output --run-dir benchmarks/output/smoke
+else
+    echo "== tier-1 tests =="
+    python -m pytest -x -q tests
+
+    echo "== micro-benchmarks =="
+    python -m pytest -q -s "${MICRO_BENCHES[@]}" benchmarks/test_bench_micro.py
+
+    echo "perf trajectory written to benchmarks/output/BENCH_{encoders,gateway,campaigns}.json"
+fi

@@ -12,25 +12,52 @@ dominant-ID frames delays everyone else through arbitration, which the
 simulator reproduces).
 """
 
-from repro.can.attacks import DoSAttacker, FuzzyAttacker, ReplayAttacker, SpoofingAttacker
+from repro.can.attacks import (
+    BurstDoSAttacker,
+    DoSAttacker,
+    FuzzyAttacker,
+    MasqueradeAttacker,
+    RampDoSAttacker,
+    ReplayAttacker,
+    SpoofingAttacker,
+    SuspensionAttacker,
+)
 from repro.can.bus import BusRecord, BusSimulator
+from repro.can.campaign import (
+    ATTACK_KINDS,
+    AttackPhase,
+    Campaign,
+    SCENARIOS,
+    ScenarioRegistry,
+    compile_campaign,
+)
 from repro.can.frame import CANFrame, crc15
 from repro.can.log import CANLogRecord, CaptureArray, read_car_hacking_csv, write_car_hacking_csv
 from repro.can.node import PeriodicSender, ScheduledFrame, TrafficSource
 
 __all__ = [
+    "ATTACK_KINDS",
+    "AttackPhase",
+    "BurstDoSAttacker",
     "BusRecord",
     "BusSimulator",
     "CANFrame",
     "CANLogRecord",
+    "Campaign",
     "CaptureArray",
     "DoSAttacker",
     "FuzzyAttacker",
+    "MasqueradeAttacker",
     "PeriodicSender",
+    "RampDoSAttacker",
     "ReplayAttacker",
+    "SCENARIOS",
+    "ScenarioRegistry",
     "ScheduledFrame",
     "SpoofingAttacker",
+    "SuspensionAttacker",
     "TrafficSource",
+    "compile_campaign",
     "crc15",
     "read_car_hacking_csv",
     "write_car_hacking_csv",

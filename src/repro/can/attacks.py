@@ -1,7 +1,9 @@
 """Attack traffic injectors.
 
 These reproduce the four attack mechanics of the Car-Hacking dataset
-(Song, Woo & Kim 2020); the paper trains detectors for the first two:
+(Song, Woo & Kim 2020) plus the masquerade/suspension mechanics the
+follow-up IDS literature evaluates against; the paper trains detectors
+for the first two:
 
 * **DoS** — inject the dominant identifier ``0x000`` every 0.3 ms.  It
   wins every arbitration round, starving legitimate traffic.
@@ -10,10 +12,25 @@ These reproduce the four attack mechanics of the Car-Hacking dataset
 * **Spoofing** (gear/RPM in the original capture) — inject well-formed
   frames of one legitimate identifier with attacker-chosen payloads.
 * **Replay** — retransmit previously captured frames.
+* **Burst/ramp DoS** — flood profiles beyond the dataset's constant
+  cadence: on/off sub-bursts (evading rate-window detectors) and a
+  ramp that intensifies across the window.
+* **Suspension** — drop or delay a legitimate sender's frames (a
+  compromised ECU going silent, or a gateway queuing it maliciously).
+* **Masquerade** — suppress the legitimate sender *and* transmit in its
+  place at the original cadence, so frame timing stays plausible.
 
 All injectors are :class:`~repro.can.node.TrafficSource` implementations
 restricted to configurable active windows, mirroring how the dataset
-alternates attack-free and attack intervals.
+alternates attack-free and attack intervals.  Injected/tampered frames
+carry the ``"T"`` label, so ground truth is attached at the source.
+
+Two families exist: *windowed injectors* (subclasses of
+:class:`_WindowedInjector`) synthesise frames of their own, while
+*wrappers* (:class:`SuspensionAttacker`, :class:`MasqueradeAttacker`)
+transform the stream of a victim source they are constructed around —
+the campaign compiler (:mod:`repro.can.campaign`) swaps the victim out
+of the bus for the wrapper.
 """
 
 from __future__ import annotations
@@ -21,40 +38,81 @@ from __future__ import annotations
 from typing import Iterator, Sequence
 
 from repro.can.frame import CANFrame, MAX_STANDARD_ID
-from repro.can.node import ScheduledFrame
+from repro.can.node import ScheduledFrame, TrafficSource
 from repro.errors import CANError
 from repro.utils.rng import new_rng
 
-__all__ = ["DoSAttacker", "FuzzyAttacker", "SpoofingAttacker", "ReplayAttacker"]
+__all__ = [
+    "BurstDoSAttacker",
+    "DEFAULT_SUSPENSION_DELAY",
+    "DoSAttacker",
+    "FuzzyAttacker",
+    "MasqueradeAttacker",
+    "RampDoSAttacker",
+    "ReplayAttacker",
+    "SpoofingAttacker",
+    "SuspensionAttacker",
+]
 
 Window = tuple[float, float]
 
+#: Default extra latency a delay-mode suspension adds to victim frames.
+#: Shared with the campaign compiler's ground-truth slack computation.
+DEFAULT_SUSPENSION_DELAY = 0.020
 
-class _WindowedInjector:
-    """Shared logic: periodic injection inside active windows."""
 
-    def __init__(self, interval: float, windows: Sequence[Window], name: str, seed: int):
-        if interval <= 0:
-            raise CANError(f"injection interval must be positive, got {interval}")
-        for start, end in windows:
-            if end <= start:
-                raise CANError(f"attack window ({start}, {end}) is empty")
-        self.interval = interval
-        self.windows = sorted(windows)
+def _validate_windows(windows: Sequence[Window]) -> list[Window]:
+    """Check and sort active windows (shared by injectors and wrappers)."""
+    for start, end in windows:
+        if end <= start:
+            raise CANError(f"attack window ({start}, {end}) is empty")
+    return sorted(windows)
+
+
+class _WindowedSource:
+    """Shared logic: frame emission restricted to active windows.
+
+    Subclasses implement :meth:`_window_frames` to enumerate one
+    window's releases; the base class validates/sorts the windows and
+    clips every window at the simulation horizon, so all attackers share
+    identical window/clipping semantics and a campaign can schedule any
+    of them uniformly.
+    """
+
+    def __init__(self, windows: Sequence[Window], name: str, seed: int):
+        self.windows = _validate_windows(windows)
         self.name = name
         self._rng = new_rng(seed, f"attacker-{name}")
 
-    def _build_frame(self) -> CANFrame:
+    def _window_frames(self, start: float, end: float, until: float) -> Iterator[ScheduledFrame]:
+        """Yield this window's releases with ``release_time < min(end, until)``."""
         raise NotImplementedError
 
     def frames(self, until: float) -> Iterator[ScheduledFrame]:
         for start, end in self.windows:
-            release = start
-            while release < min(end, until):
-                yield ScheduledFrame(release, self._build_frame(), "T", self.name)
-                release += self.interval
             if start >= until:
                 break
+            yield from self._window_frames(start, end, until)
+
+
+class _WindowedInjector(_WindowedSource):
+    """Windowed source with a fixed injection cadence."""
+
+    def __init__(self, interval: float, windows: Sequence[Window], name: str, seed: int):
+        if interval <= 0:
+            raise CANError(f"injection interval must be positive, got {interval}")
+        super().__init__(windows, name, seed)
+        self.interval = interval
+
+    def _build_frame(self) -> CANFrame:
+        raise NotImplementedError
+
+    def _window_frames(self, start: float, end: float, until: float) -> Iterator[ScheduledFrame]:
+        release = start
+        horizon = min(end, until)
+        while release < horizon:
+            yield ScheduledFrame(release, self._build_frame(), "T", self.name)
+            release += self.interval
 
 
 class DoSAttacker(_WindowedInjector):
@@ -71,13 +129,100 @@ class DoSAttacker(_WindowedInjector):
         can_id: int = 0x000,
         payload: bytes = bytes(8),
         seed: int = 0,
+        name: str = "dos-attacker",
     ):
-        super().__init__(interval, windows, "dos-attacker", seed)
+        super().__init__(interval, windows, name, seed)
         self.can_id = can_id
         self.payload = payload
 
     def _build_frame(self) -> CANFrame:
         return CANFrame(self.can_id, self.payload)
+
+
+class BurstDoSAttacker(DoSAttacker):
+    """DoS flood chopped into on/off sub-bursts inside each window.
+
+    Models an attacker dosing the bus in short pulses — enough to stall
+    arbitration while ducking under rate-per-window heuristics.  Each
+    active window alternates ``burst_on`` seconds of flooding at
+    ``interval`` cadence with ``burst_off`` seconds of silence.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[Window],
+        burst_on: float = 0.050,
+        burst_off: float = 0.050,
+        interval: float = 0.0003,
+        can_id: int = 0x000,
+        payload: bytes = bytes(8),
+        seed: int = 0,
+        name: str = "burst-dos-attacker",
+    ):
+        if burst_on <= 0 or burst_off < 0:
+            raise CANError(
+                f"burst_on must be positive and burst_off non-negative, "
+                f"got ({burst_on}, {burst_off})"
+            )
+        super().__init__(
+            windows, interval=interval, can_id=can_id, payload=payload,
+            seed=seed, name=name,
+        )
+        self.burst_on = burst_on
+        self.burst_off = burst_off
+
+    def _window_frames(self, start: float, end: float, until: float) -> Iterator[ScheduledFrame]:
+        horizon = min(end, until)
+        cursor = start
+        while cursor < horizon:
+            burst_end = min(cursor + self.burst_on, horizon)
+            release = cursor
+            while release < burst_end:
+                yield ScheduledFrame(release, self._build_frame(), "T", self.name)
+                release += self.interval
+            cursor = cursor + self.burst_on + self.burst_off
+
+
+class RampDoSAttacker(DoSAttacker):
+    """DoS flood whose cadence ramps across each window.
+
+    The injection interval interpolates linearly from
+    ``interval_start`` at the window's opening to ``interval_end`` at
+    its close — an attack that starts below detection thresholds and
+    intensifies to a full flood (or, reversed, a flood that backs off).
+    The ramp is a function of window position, so clipping at the
+    simulation horizon never changes the cadence profile.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[Window],
+        interval_start: float = 0.005,
+        interval_end: float = 0.0003,
+        can_id: int = 0x000,
+        payload: bytes = bytes(8),
+        seed: int = 0,
+        name: str = "ramp-dos-attacker",
+    ):
+        if interval_start <= 0 or interval_end <= 0:
+            raise CANError(
+                f"ramp intervals must be positive, got ({interval_start}, {interval_end})"
+            )
+        super().__init__(
+            windows, interval=min(interval_start, interval_end), can_id=can_id,
+            payload=payload, seed=seed, name=name,
+        )
+        self.interval_start = interval_start
+        self.interval_end = interval_end
+
+    def _window_frames(self, start: float, end: float, until: float) -> Iterator[ScheduledFrame]:
+        horizon = min(end, until)
+        span = end - start
+        release = start
+        while release < horizon:
+            yield ScheduledFrame(release, self._build_frame(), "T", self.name)
+            progress = (release - start) / span
+            release += self.interval_start + (self.interval_end - self.interval_start) * progress
 
 
 class FuzzyAttacker(_WindowedInjector):
@@ -96,8 +241,9 @@ class FuzzyAttacker(_WindowedInjector):
         id_range: tuple[int, int] = (0x000, MAX_STANDARD_ID),
         dlc: int = 8,
         seed: int = 0,
+        name: str = "fuzzy-attacker",
     ):
-        super().__init__(interval, windows, "fuzzy-attacker", seed)
+        super().__init__(interval, windows, name, seed)
         if not 0 <= id_range[0] <= id_range[1] <= MAX_STANDARD_ID:
             raise CANError(f"invalid fuzzing id range {id_range}")
         self.id_range = id_range
@@ -123,8 +269,9 @@ class SpoofingAttacker(_WindowedInjector):
         interval: float = 0.001,
         payload_pool: Sequence[bytes] | None = None,
         seed: int = 0,
+        name: str | None = None,
     ):
-        super().__init__(interval, windows, f"spoof-0x{target_id:03X}", seed)
+        super().__init__(interval, windows, name or f"spoof-0x{target_id:03X}", seed)
         self.target_id = target_id
         self.payload_pool = list(payload_pool) if payload_pool else [bytes([0xFF, 0x00] * 4)]
 
@@ -133,27 +280,167 @@ class SpoofingAttacker(_WindowedInjector):
         return CANFrame(self.target_id, self.payload_pool[choice])
 
 
-class ReplayAttacker:
-    """Replay a previously captured frame sequence inside a window.
+class ReplayAttacker(_WindowedSource):
+    """Replay a previously captured frame sequence inside active windows.
 
-    Unlike the windowed injectors, release times come from the capture
-    itself (shifted to the window start), preserving original pacing.
+    Unlike the periodic injectors, release times come from the capture
+    itself (shifted to each window's start), preserving original pacing;
+    frames whose offset overruns a window are clipped at its end.  The
+    window/clipping semantics are those of every other windowed injector
+    (multiple windows, horizon clipping), so campaigns can schedule a
+    replay phase exactly like a flood phase.
+
+    ``windows`` accepts either one ``(start, end)`` pair or a sequence
+    of them; the legacy keyword ``window`` remains an alias for a single
+    pair.
     """
 
-    def __init__(self, capture: Sequence[CANFrame], offsets: Sequence[float], window: Window, name: str = "replay-attacker"):
+    def __init__(
+        self,
+        capture: Sequence[CANFrame],
+        offsets: Sequence[float],
+        windows: Sequence[Window] | Window | None = None,
+        name: str = "replay-attacker",
+        seed: int = 0,
+        *,
+        window: Window | None = None,
+    ):
         if len(capture) != len(offsets):
             raise CANError("capture and offsets must have matching lengths")
-        if window[1] <= window[0]:
-            raise CANError(f"replay window {window} is empty")
+        if windows is None:
+            windows = window
+        if windows is None:
+            raise CANError("replay attacker needs at least one active window")
+        if len(windows) == 2 and not isinstance(windows[0], (tuple, list)):
+            windows = [tuple(windows)]  # a bare (start, end) pair
+        super().__init__(list(windows), name, seed)
         self.capture = list(capture)
         self.offsets = list(offsets)
-        self.window = window
-        self.name = name
 
-    def frames(self, until: float) -> Iterator[ScheduledFrame]:
-        start, end = self.window
+    @property
+    def window(self) -> Window:
+        """The first active window (legacy single-window accessor)."""
+        return self.windows[0]
+
+    def _window_frames(self, start: float, end: float, until: float) -> Iterator[ScheduledFrame]:
+        horizon = min(end, until)
         for frame, offset in zip(self.capture, self.offsets):
             release = start + offset
-            if release >= min(end, until):
+            if release >= horizon:
                 break
             yield ScheduledFrame(release, frame, "T", self.name)
+
+
+class SuspensionAttacker:
+    """Suppress or delay a legitimate sender's frames inside windows.
+
+    A suspension attack silences a victim ECU — by bus-off-ing it, by
+    holding its transmit mailbox, or by a compromised gateway queueing
+    its frames.  This wrapper transforms the ``victim`` source's
+    stream: inside each active window, matching frames are either
+    dropped (``mode="drop"``; nothing appears on the wire) or delayed
+    by ``delay`` seconds (``mode="delay"``; the late frames are
+    tampered traffic and carry the ``"T"`` label).  Frames of other
+    identifiers — and the victim's frames outside the windows — pass
+    through untouched, in their original order.
+
+    The campaign compiler replaces the victim on the bus with this
+    wrapper, so the bus sees exactly one copy of the victim's traffic.
+    """
+
+    MODES = ("drop", "delay")
+
+    def __init__(
+        self,
+        victim: TrafficSource,
+        windows: Sequence[Window],
+        mode: str = "drop",
+        delay: float = DEFAULT_SUSPENSION_DELAY,
+        target_id: int | None = None,
+        name: str | None = None,
+    ):
+        if mode not in self.MODES:
+            raise CANError(f"unknown suspension mode {mode!r}; choose from {self.MODES}")
+        if mode == "delay" and delay <= 0:
+            raise CANError(f"suspension delay must be positive, got {delay}")
+        self.victim = victim
+        self.windows = _validate_windows(windows)
+        self.mode = mode
+        self.delay = delay
+        #: identifier the attack applies to (None = every victim frame);
+        #: exposed as ``can_id`` so wrappers stack like plain senders.
+        self.can_id = target_id if target_id is not None else getattr(victim, "can_id", None)
+        self.name = name or f"suspension-{mode}"
+
+    def _active(self, release_time: float) -> bool:
+        return any(start <= release_time < end for start, end in self.windows)
+
+    def frames(self, until: float) -> Iterator[ScheduledFrame]:
+        out: list[ScheduledFrame] = []
+        for scheduled in self.victim.frames(until):
+            targeted = self.can_id is None or scheduled.frame.can_id == self.can_id
+            if not (targeted and self._active(scheduled.release_time)):
+                out.append(scheduled)
+                continue
+            if self.mode == "drop":
+                continue
+            release = scheduled.release_time + self.delay
+            if release >= until:
+                continue
+            out.append(ScheduledFrame(release, scheduled.frame, "T", self.name))
+        # A constant delay preserves the victim's own ordering, but a
+        # delayed frame can land between two pass-through releases, so
+        # restore global release order for the TrafficSource contract.
+        out.sort(key=lambda s: s.release_time)
+        yield from out
+
+
+class MasqueradeAttacker:
+    """Suppress the legitimate sender and transmit in its place.
+
+    The masquerade attack is spoofing done carefully: the victim ECU is
+    silenced (as in a drop-mode suspension) and the attacker transmits
+    the victim's identifier *at its original cadence*, so frequency- and
+    inter-arrival-based detectors see nothing unusual — only payload
+    inspection can tell.  Inside each window, the wrapper filters the
+    victim's frames out and injects spoofed frames every ``interval``
+    seconds (default: the victim's nominal period) with payloads drawn
+    from ``payload_pool``.
+    """
+
+    def __init__(
+        self,
+        victim: TrafficSource,
+        windows: Sequence[Window],
+        interval: float | None = None,
+        payload_pool: Sequence[bytes] | None = None,
+        target_id: int | None = None,
+        seed: int = 0,
+        name: str | None = None,
+    ):
+        target = target_id if target_id is not None else getattr(victim, "can_id", None)
+        if target is None:
+            raise CANError("masquerade needs a target_id (victim has no can_id attribute)")
+        cadence = interval if interval is not None else getattr(victim, "period", None)
+        if cadence is None:
+            raise CANError("masquerade needs an interval (victim has no period attribute)")
+        self.can_id = target
+        self.name = name or f"masquerade-0x{target:03X}"
+        self._suppressor = SuspensionAttacker(
+            victim, windows, mode="drop", target_id=target, name=self.name
+        )
+        self._injector = SpoofingAttacker(
+            windows,
+            target_id=target,
+            interval=cadence,
+            payload_pool=payload_pool,
+            seed=seed,
+            name=self.name,
+        )
+        self.windows = self._suppressor.windows
+        self.interval = cadence
+
+    def frames(self, until: float) -> Iterator[ScheduledFrame]:
+        merged = list(self._suppressor.frames(until)) + list(self._injector.frames(until))
+        merged.sort(key=lambda s: s.release_time)
+        yield from merged

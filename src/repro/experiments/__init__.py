@@ -14,6 +14,7 @@ dse_report      in-text bit-width DSE ("4-bit chosen")
 foldings        FINN folding optimisation trade-off
 multimodel      in-text multi-model simultaneous deployment claim
 baseline_table  trained reduced baselines on the same synthetic data
+campaigns       attack-campaign scenario sweep through the gateway
 ==============  ==========================================================
 
 All harnesses share :class:`~repro.experiments.context.ExperimentContext`

@@ -8,6 +8,7 @@ the document recorded in EXPERIMENTS.md.
 from __future__ import annotations
 
 from repro.experiments.baseline_table import render_baseline_table, run_baseline_table
+from repro.experiments.campaigns import render_campaign_sweep, run_campaign_sweep
 from repro.experiments.context import ExperimentContext, ExperimentSettings
 from repro.experiments.dse_report import render_dse, run_dse
 from repro.experiments.energy import render_energy, run_energy
@@ -30,11 +31,12 @@ def run_all(
     settings: ExperimentSettings | None = None,
     include_dse: bool = True,
     include_baselines: bool = True,
+    include_campaigns: bool = True,
 ) -> dict[str, str]:
     """Execute every experiment; returns {experiment id: rendered table}.
 
-    The DSE (E8) and trained-baseline sweeps dominate runtime; switch
-    them off for a quick pass.
+    The DSE (E8), trained-baseline and campaign sweeps dominate
+    runtime; switch them off for a quick pass.
     """
     context = ExperimentContext(settings or ExperimentSettings())
     report: dict[str, str] = {}
@@ -60,6 +62,9 @@ def run_all(
     report["E9-folding"] = render_foldings(run_foldings(context)).render()
     _LOG.info("E10: multi-model deployment")
     report["E10-multimodel"] = render_multimodel(run_multimodel(context)).render()
+    if include_campaigns:
+        _LOG.info("E11: attack-campaign scenario sweep")
+        report["E11-campaigns"] = render_campaign_sweep(run_campaign_sweep(context)).render()
     if include_baselines:
         _LOG.info("EX: trained reduced baselines")
         report["EX-baselines"] = render_baseline_table(run_baseline_table(context)).render()

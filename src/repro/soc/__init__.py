@@ -36,7 +36,14 @@ from repro.soc.ecu import (
     simulate_fifo_admission,
 )
 from repro.soc.fifo import RxFIFO
-from repro.soc.gateway import ChannelResult, GatewayReport, IDSGateway
+from repro.soc.gateway import (
+    ChannelResult,
+    GatewayReport,
+    IDSGateway,
+    PhaseOutcome,
+    build_campaign_gateway,
+    build_segment_gateway,
+)
 from repro.soc.latency import LatencyBreakdown, LatencyModel
 from repro.soc.platforms import PLATFORMS, PlatformModel
 from repro.soc.power import PMBusSampler, PowerModel, PowerReport
@@ -61,11 +68,14 @@ __all__ = [
     "MemoryMappedAccelerator",
     "Overlay",
     "PLATFORMS",
+    "PhaseOutcome",
     "PMBusSampler",
     "PlatformModel",
     "PowerModel",
     "PowerReport",
     "RxFIFO",
+    "build_campaign_gateway",
+    "build_segment_gateway",
     "ZCU104",
     "simulate_fifo_admission",
 ]

@@ -42,11 +42,13 @@ not an error.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Mapping, Sequence
+
+import numpy as np
 
 from repro.can.attacks import DoSAttacker
 from repro.can.bus import BusSimulator, bus_load
-from repro.can.log import records_from_bus
+from repro.can.log import CaptureArray, records_from_bus
 from repro.errors import SoCError
 from repro.soc.arbiter import ArbitrationGrant, SharedAcceleratorArbiter
 from repro.soc.ecu import ECUReport, ECUStreamSession, IDSEnabledECU
@@ -55,12 +57,59 @@ __all__ = [
     "ChannelResult",
     "GatewayReport",
     "IDSGateway",
+    "PhaseOutcome",
     "SCHEDULES",
+    "build_campaign_gateway",
     "build_segment_gateway",
+    "gateway_from_buses",
 ]
 
 #: Supported channel-advance orders for :meth:`IDSGateway.monitor`.
 SCHEDULES = ("interleaved", "sequential")
+
+
+@dataclass(frozen=True)
+class PhaseOutcome:
+    """One attack phase's verdict on one channel: did the IDS catch it?
+
+    The gateway computes these when :meth:`IDSGateway.monitor` is given
+    per-channel ground-truth windows (``truth=``, e.g. from
+    :meth:`repro.can.campaign.Campaign.truth_windows`): each serviced
+    frame's verdict is attributed to the phase window it falls in —
+    and, when the traffic's frame sources name the phase (campaign
+    compilation names every attacker after its phase), to the phase
+    that actually *produced* the frame, so overlapping phases never
+    credit each other's detections.
+    """
+
+    phase: str  #: phase label (campaign phase name)
+    channel: str
+    start: float
+    end: float  #: window end, including any label slack for delayed frames
+    frames_observed: int  #: frames the channel captured inside the window
+    attack_frames: int  #: ground-truth attack frames attributed to this phase
+    serviced_attack_frames: int  #: attack frames that survived the RX FIFO
+    #: serviced frames flagged inside the window — IDS *activity* during
+    #: the phase, whatever provoked it (includes false alarms and
+    #: overlapping phases' evidence)
+    alerts: int
+    #: flagged attack frames attributed to this phase; under queueing a
+    #: frame can complete past the window end, so this is not a subset
+    #: of ``alerts``
+    true_alerts: int
+    detection_latency_s: float | None  #: first true alert - phase start
+
+    @property
+    def detected(self) -> bool:
+        """At least one attack-labelled frame in the window was flagged."""
+        return self.true_alerts > 0
+
+    @property
+    def window_recall(self) -> float:
+        """Fraction of *serviced* attack frames in the window flagged."""
+        if self.serviced_attack_frames == 0:
+            return 0.0
+        return self.true_alerts / self.serviced_attack_frames
 
 
 @dataclass(frozen=True)
@@ -70,6 +119,10 @@ class ChannelResult:
     ``report`` is ``None`` for an idle channel (no traffic in the
     window); ``grant`` is set when a shared-accelerator arbiter was in
     force and records the slot share this channel was granted.
+    ``capture`` is the channel's observed traffic in columnar form —
+    what downstream phase attribution and labelling consume — and
+    ``phase_outcomes`` carries the per-phase verdicts when ground-truth
+    windows were supplied to the run.
     """
 
     name: str
@@ -77,6 +130,8 @@ class ChannelResult:
     report: ECUReport | None
     effective_drain_fps: float | None = None  #: drain rate the session ran at
     grant: ArbitrationGrant | None = None  #: shared-IP slot grant, if any
+    capture: CaptureArray | None = None  #: observed traffic (None when idle)
+    phase_outcomes: tuple[PhaseOutcome, ...] = ()  #: campaign phase verdicts
 
     @property
     def idle(self) -> bool:
@@ -157,6 +212,16 @@ class GatewayReport:
         """Fraction of offered frames lost to RX-FIFO overflow."""
         return self.total_dropped / self.total_frames if self.total_frames else 0.0
 
+    @property
+    def phase_outcomes(self) -> list[PhaseOutcome]:
+        """Every channel's phase verdicts, flattened (campaign runs)."""
+        return [outcome for c in self.channels for outcome in c.phase_outcomes]
+
+    @property
+    def phases_detected(self) -> int:
+        """Phases with at least one true alert (of those that inject frames)."""
+        return sum(1 for outcome in self.phase_outcomes if outcome.detected)
+
     def channel(self, name: str) -> ChannelResult:
         """Look one channel's result up by name."""
         for result in self.channels:
@@ -202,7 +267,92 @@ class GatewayReport:
                 )
                 + extra
             )
+            for outcome in channel.phase_outcomes:
+                latency = (
+                    f"{1e3 * outcome.detection_latency_s:.1f} ms"
+                    if outcome.detection_latency_s is not None
+                    else "n/a"
+                )
+                lines.append(
+                    f"    phase {outcome.phase}: "
+                    f"{'DETECTED' if outcome.detected else 'missed'} "
+                    f"(latency {latency}, "
+                    f"{outcome.true_alerts}/{outcome.serviced_attack_frames} "
+                    f"attack frames flagged)"
+                )
         return "\n".join(lines)
+
+
+def _phase_outcomes(
+    channel: str,
+    capture: CaptureArray,
+    sources: np.ndarray,
+    report: ECUReport,
+    windows: Sequence[tuple[str, float, float]],
+) -> tuple[PhaseOutcome, ...]:
+    """Attribute one channel's verdicts to its ground-truth phase windows.
+
+    Campaign truth windows carry an ``injects`` flag (4-tuples), and
+    campaign-compiled traffic names every attacker after its phase, so
+    attack frames attribute purely by *source*: overlapping phases
+    never credit each other's detections, and a phase that puts no
+    frames on the wire (drop-mode suspension) honestly reports zero —
+    never a neighbour's flood.  Hand-written 3-tuple windows (free-form
+    labels, no compiled sources) fall back to window containment.
+    ``alerts`` stays window-based either way — it counts IDS firings
+    during the phase, whatever provoked them.
+
+    Serviced frames are located via ``report.kept_indices`` (identity
+    when the FIFO never dropped), so a phase whose attack frames were
+    flood casualties is honestly reported: its ``attack_frames`` stay,
+    its ``serviced_attack_frames`` shrink.
+    """
+    kept = (
+        report.kept_indices
+        if report.kept_indices is not None
+        else np.arange(len(capture))
+    )
+    serviced_ts = capture.timestamps[kept]
+    serviced_labels = capture.labels[kept]
+    serviced_sources = sources[kept]
+    predictions = report.predictions
+    outcomes = []
+    for window in windows:
+        phase_name, start, end = window[0], window[1], window[2]
+        from_campaign = len(window) > 3
+        observed = (capture.timestamps >= start) & (capture.timestamps < end)
+        in_window = (serviced_ts >= start) & (serviced_ts < end)
+        if from_campaign:
+            # Source attribution: the frames this phase actually put on
+            # the wire, wherever arbitration queueing made them
+            # *complete* — under a flood, frames released inside the
+            # window routinely finish past its end.  A phase without
+            # sourced frames (drop-mode suspension) counts zero.
+            attack_all = (capture.labels == 1) & (sources == phase_name)
+            attack_serviced = (serviced_labels == 1) & (serviced_sources == phase_name)
+        else:
+            attack_all = observed & (capture.labels == 1)
+            attack_serviced = in_window & (serviced_labels == 1)
+        alerts = in_window & (predictions == 1)
+        true_alerts = (predictions == 1) & attack_serviced
+        detection_latency = None
+        if np.any(true_alerts):
+            detection_latency = float(serviced_ts[true_alerts].min() - start)
+        outcomes.append(
+            PhaseOutcome(
+                phase=phase_name,
+                channel=channel,
+                start=start,
+                end=end,
+                frames_observed=int(observed.sum()),
+                attack_frames=int(attack_all.sum()),
+                serviced_attack_frames=int(attack_serviced.sum()),
+                alerts=int(alerts.sum()),
+                true_alerts=int(true_alerts.sum()),
+                detection_latency_s=detection_latency,
+            )
+        )
+    return tuple(outcomes)
 
 
 class IDSGateway:
@@ -239,6 +389,7 @@ class IDSGateway:
         with_metrics: bool = True,
         schedule: str = "interleaved",
         arbiter: SharedAcceleratorArbiter | None = None,
+        truth: Mapping[str, Sequence[tuple]] | None = None,
     ) -> GatewayReport:
         """Run every segment for ``duration`` seconds and scan its traffic.
 
@@ -258,6 +409,15 @@ class IDSGateway:
         shared accelerator IP: each channel's session drains at its
         granted share of the (possibly ``drain_fps``-overridden) base
         rate instead of the full rate.
+
+        ``truth`` maps channel names to ground-truth phase windows —
+        ``(phase_name, start, end, injects)`` from a campaign's
+        :meth:`~repro.can.campaign.Campaign.truth_windows` (attack
+        frames then attribute by their *source*, the attacker named
+        after the phase), or hand-written ``(label, start, end)``
+        triples attributed by window containment.  Either turns on
+        campaign-aware labelling: each channel's verdicts are reported
+        as :class:`PhaseOutcome` rows on the channel result.
         """
         if not self._channels:
             raise SoCError("gateway has no channels attached")
@@ -265,16 +425,29 @@ class IDSGateway:
             raise SoCError(f"duration must be positive, got {duration}")
         if schedule not in SCHEDULES:
             raise SoCError(f"unknown schedule {schedule!r}; choose from {SCHEDULES}")
+        if truth is not None:
+            for channel in truth:
+                if channel not in self._channels:
+                    raise SoCError(f"truth windows name unknown channel {channel!r}")
 
         # Phase 1: capture every segment's window, flagging idle ones.
-        traffic: dict[str, tuple[float, list]] = {}
+        # For channels with truth windows, frame sources (which node
+        # released each frame) ride along for phase attribution:
+        # campaign-compiled attackers are named after their phase, so
+        # overlapping phases stay distinguishable.  Other channels skip
+        # the per-record extraction — it is pure dead weight there.
+        traffic: dict[str, tuple[float, CaptureArray, np.ndarray | None]] = {}
         for name, (bus, ecu) in self._channels.items():
             bus_records = bus.run(duration)
+            sources = None
+            if truth is not None and truth.get(name):
+                sources = np.array([record.source for record in bus_records], dtype=str)
             traffic[name] = (
                 bus_load(bus_records, duration, bus.bitrate),
-                records_from_bus(bus_records),
+                CaptureArray.from_records(records_from_bus(bus_records)),
+                sources,
             )
-        active = [name for name, (_, records) in traffic.items() if records]
+        active = [name for name, (_, capture, _) in traffic.items() if len(capture)]
 
         # Phase 2: plan drain rates (shared-IP arbitration, if any).
         grants: dict[str, ArbitrationGrant] = {}
@@ -297,7 +470,7 @@ class IDSGateway:
                 grants[name].effective_drain_fps if name in grants else drain_fps
             )
             sessions[name] = ecu.open_stream(
-                traffic[name][1],
+                traffic[name][1],  # the channel's CaptureArray
                 chunk_size=chunk_size,
                 drain_fps=channel_drain,
                 with_metrics=with_metrics,
@@ -318,21 +491,29 @@ class IDSGateway:
                 if sessions[name].done:
                     pending.remove(name)
 
-        # Phase 5: aggregate.
+        # Phase 5: aggregate, attributing verdicts to truth windows.
         results: list[ChannelResult] = []
         for name in self._channels:
-            load, _ = traffic[name]
+            load, capture, sources = traffic[name]
             if name not in sessions:
-                results.append(ChannelResult(name=name, bus_load=load, report=None))
+                results.append(
+                    ChannelResult(name=name, bus_load=load, report=None, capture=None)
+                )
                 continue
             session = sessions[name]
+            report = session.finish()
+            outcomes: tuple[PhaseOutcome, ...] = ()
+            if truth is not None and truth.get(name):
+                outcomes = _phase_outcomes(name, capture, sources, report, truth[name])
             results.append(
                 ChannelResult(
                     name=name,
                     bus_load=load,
-                    report=session.finish(),
+                    report=report,
                     effective_drain_fps=session.drain_fps,
                     grant=grants.get(name),
+                    capture=capture,
+                    phase_outcomes=outcomes,
                 )
             )
         return GatewayReport(
@@ -390,3 +571,66 @@ def build_segment_gateway(
             ),
         )
     return gateway
+
+
+def gateway_from_buses(
+    ip,
+    buses: Mapping[str, BusSimulator],
+    ecu_seed: int = 0,
+    fifo_capacity: int = 64,
+    encoder=None,
+    name: str = "campaign-gateway",
+) -> IDSGateway:
+    """A gateway pairing each named bus with a fresh IDS-ECU carrying ``ip``.
+
+    ``buses`` maps channel names to traffic sources (anything with the
+    :class:`~repro.can.bus.BusSimulator` run interface — the campaign
+    sweep passes caching wrappers so both gateway deployments replay
+    one simulated window).
+    """
+    from repro.datasets.features import BitFeatureEncoder
+
+    gateway = IDSGateway(name)
+    for index, (channel, bus) in enumerate(buses.items()):
+        gateway.attach_channel(
+            channel,
+            bus,
+            IDSEnabledECU(
+                ip,
+                encoder if encoder is not None else BitFeatureEncoder(),
+                name=f"{channel}-ids",
+                seed=ecu_seed + index,
+                fifo_capacity=fifo_capacity,
+            ),
+        )
+    return gateway
+
+
+def build_campaign_gateway(
+    ip,
+    campaign,
+    vehicle_seed: int = 0,
+    ecu_seed: int = 0,
+    fifo_capacity: int = 64,
+    encoder=None,
+    name: str | None = None,
+) -> IDSGateway:
+    """A gateway with one IDS-ECU per channel of a compiled campaign.
+
+    Compiles ``campaign`` (a :class:`repro.can.campaign.Campaign`) onto
+    per-channel buses and pairs each with a fresh
+    :class:`~repro.soc.ecu.IDSEnabledECU` carrying ``ip``.  Run it with
+    ``gateway.monitor(duration=campaign.duration,
+    truth=campaign.truth_windows())`` to get campaign-aware per-phase
+    verdicts on every channel.
+    """
+    from repro.can.campaign import compile_campaign
+
+    return gateway_from_buses(
+        ip,
+        compile_campaign(campaign, vehicle_seed=vehicle_seed),
+        ecu_seed=ecu_seed,
+        fifo_capacity=fifo_capacity,
+        encoder=encoder,
+        name=name or f"campaign-{campaign.name}",
+    )

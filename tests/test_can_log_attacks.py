@@ -98,3 +98,12 @@ class TestSpoofReplay:
     def test_replay_length_mismatch(self):
         with pytest.raises(CANError):
             ReplayAttacker([CANFrame(0x1)], offsets=[0.0, 1.0], window=(0.0, 1.0))
+
+    def test_replay_accepts_bare_pair_and_windows_alias(self):
+        capture = [CANFrame(0x100, bytes(2))]
+        legacy = ReplayAttacker(capture, offsets=[0.0], window=(1.0, 2.0))
+        bare = ReplayAttacker(capture, offsets=[0.0], windows=(1.0, 2.0))
+        listed = ReplayAttacker(capture, offsets=[0.0], windows=[(1.0, 2.0)])
+        for attacker in (legacy, bare, listed):
+            assert attacker.window == (1.0, 2.0)
+            assert [s.release_time for s in attacker.frames(10.0)] == [1.0]
