@@ -6,6 +6,8 @@
 #   benchmarks/output/BENCH_gateway.json    — sequential vs. interleaved gateway
 #                                             scheduling, per-IP vs. shared-IP rates
 #   benchmarks/output/BENCH_campaigns.json  — attack-campaign sweep rates/drops
+#   benchmarks/output/BENCH_inference.json  — float graph vs. compiled engine fps,
+#                                             serial vs. parallel campaign sweep
 #
 # Usage:
 #   scripts/bench.sh            full run: tier-1 tests + micro-benchmarks
@@ -36,6 +38,7 @@ done
 
 MICRO_BENCHES=(
     benchmarks/test_bench_encoder.py
+    benchmarks/test_bench_inference.py
     benchmarks/test_bench_gateway.py
     benchmarks/test_bench_campaigns.py
 )
@@ -53,5 +56,5 @@ else
     echo "== micro-benchmarks =="
     python -m pytest -q -s "${MICRO_BENCHES[@]}" benchmarks/test_bench_micro.py
 
-    echo "perf trajectory written to benchmarks/output/BENCH_{encoders,gateway,campaigns}.json"
+    echo "perf trajectory written to benchmarks/output/BENCH_{encoders,inference,gateway,campaigns}.json"
 fi

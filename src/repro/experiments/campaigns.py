@@ -23,6 +23,8 @@ motivation for the multi-model deployment of E10.
 
 from __future__ import annotations
 
+import os
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -31,12 +33,19 @@ import numpy as np
 from repro.can.campaign import SCENARIOS, Campaign, ScenarioRegistry, compile_campaign
 from repro.errors import ConfigError
 from repro.experiments.context import ExperimentContext
+from repro.finn.compiled import engine_for
 from repro.soc.arbiter import SharedAcceleratorArbiter
 from repro.soc.gateway import GatewayReport, gateway_from_buses
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 
-__all__ = ["ScenarioRun", "CampaignSweepResult", "run_campaign_sweep", "render_campaign_sweep"]
+__all__ = [
+    "ScenarioRun",
+    "CampaignSweepResult",
+    "default_sweep_workers",
+    "run_campaign_sweep",
+    "render_campaign_sweep",
+]
 
 #: Gateway deployments each scenario is swept through.
 SWEEP_MODES = ("per-ip", "shared-ip")
@@ -148,6 +157,11 @@ class _CachedBus:
         return self._runs[duration]
 
 
+def default_sweep_workers(num_scenarios: int) -> int:
+    """The default worker count for :func:`run_campaign_sweep`."""
+    return max(1, min(8, os.cpu_count() or 1, num_scenarios))
+
+
 def run_campaign_sweep(
     context: ExperimentContext,
     scenarios: Sequence[str] | None = None,
@@ -156,6 +170,7 @@ def run_campaign_sweep(
     detector: str = "dos",
     fifo_capacity: int = 64,
     chunk_size: int = 4096,
+    max_workers: int | None = None,
 ) -> CampaignSweepResult:
     """Drive every registered scenario through both gateway deployments.
 
@@ -163,15 +178,29 @@ def run_campaign_sweep(
     ``duration`` rescales every campaign (default: each scenario's own).
     Every channel of every gateway carries the ``detector`` QMLP from
     the shared experiment context behind the deployed bit encoding.
+
+    Scenarios are independent — each builds its own buses, gateways and
+    ECUs from scenario-indexed seeds — so the sweep fans them out over
+    a thread pool (``max_workers``; default
+    :func:`default_sweep_workers`, 1 forces the serial loop).  The
+    heavy kernels (bus simulation arrays, batch encoding, the compiled
+    inference engine) release the GIL in numpy, every worker shares the
+    one engine compiled for ``ip`` (thread-local scratch), and seeds
+    are derived from the scenario index, not the execution order — so
+    results are deterministic and identical to the serial sweep, in
+    registry order.
     """
+    if max_workers is not None and max_workers < 1:
+        raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
     ip = context.ip(detector)
+    engine_for(ip)  # compile the shared engine once, before the fleet forks
     seed = derive_seed(context.settings.seed, "campaign-sweep")
     names = list(scenarios) if scenarios is not None else registry.names()
-    runs: list[ScenarioRun] = []
-    total_duration = 0.0
-    for index, name in enumerate(names):
+    descriptions = registry.describe()
+
+    def sweep_scenario(indexed: tuple[int, str]) -> tuple[float, list[ScenarioRun]]:
+        index, name = indexed
         campaign = registry.build(name, duration=duration)
-        total_duration += campaign.duration
         truth = campaign.truth_windows()
         buses = {
             channel: _CachedBus(bus)
@@ -179,6 +208,7 @@ def run_campaign_sweep(
                 campaign, vehicle_seed=seed + index
             ).items()
         }
+        scenario_runs: list[ScenarioRun] = []
         for mode in SWEEP_MODES:
             gateway = gateway_from_buses(
                 ip,
@@ -193,15 +223,26 @@ def run_campaign_sweep(
                 truth=truth,
                 arbiter=SharedAcceleratorArbiter() if mode == "shared-ip" else None,
             )
-            runs.append(
+            scenario_runs.append(
                 ScenarioRun(
                     scenario=name,
-                    description=registry.describe().get(name, ""),
+                    description=descriptions.get(name, ""),
                     mode=mode,
                     campaign=campaign,
                     report=report,
                 )
             )
+        return campaign.duration, scenario_runs
+
+    workers = max_workers if max_workers is not None else default_sweep_workers(len(names))
+    if workers > 1 and len(names) > 1:
+        with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="campaign-sweep") as pool:
+            outcomes = list(pool.map(sweep_scenario, enumerate(names)))
+    else:
+        outcomes = [sweep_scenario(indexed) for indexed in enumerate(names)]
+
+    runs = [run for _, scenario_runs in outcomes for run in scenario_runs]
+    total_duration = sum(scenario_duration for scenario_duration, _ in outcomes)
     return CampaignSweepResult(runs=runs, duration=total_duration, detector=detector)
 
 

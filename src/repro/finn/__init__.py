@@ -29,6 +29,7 @@ flow end to end:
 """
 
 from repro.finn.build import build_frontend_graph
+from repro.finn.compiled import CompiledEngine, compile_engine, engine_cache_info, engine_for
 from repro.finn.cyclesim import CycleSimulator, SimReport
 from repro.finn.folding import FoldingConfig, fold_for_target, max_parallel_folding
 from repro.finn.graph import DataflowGraph
@@ -42,6 +43,7 @@ from repro.finn.verify import verify_bit_exact
 __all__ = [
     "MVAU",
     "AcceleratorIP",
+    "CompiledEngine",
     "CycleSimulator",
     "DataflowGraph",
     "FoldingConfig",
@@ -49,8 +51,11 @@ __all__ = [
     "SimReport",
     "StreamingFIFO",
     "build_frontend_graph",
+    "compile_engine",
     "compile_model",
     "compute_thresholds",
+    "engine_cache_info",
+    "engine_for",
     "fold_for_target",
     "max_parallel_folding",
     "streamline",

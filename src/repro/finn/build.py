@@ -31,7 +31,33 @@ from repro.finn.graph import (
 from repro.quant.export import QNNExport
 from repro.quant.quantizers import round_half_up_array
 
-__all__ = ["build_frontend_graph", "quantize_input"]
+__all__ = ["build_frontend_graph", "input_quant_range", "quantize_features", "quantize_input"]
+
+
+def input_quant_range(input_quant) -> tuple[int, int]:
+    """The ``(qmin, qmax)`` integer range of an input quantiser."""
+    if input_quant.signed:
+        qmax = 2 ** (input_quant.bit_width - 1) - 1
+        qmin = -qmax if input_quant.narrow_range else -(qmax + 1)
+    else:
+        qmin, qmax = 0, 2**input_quant.bit_width - 1
+    return qmin, qmax
+
+
+def quantize_features(input_quant, features: np.ndarray) -> np.ndarray:
+    """Apply one input quantiser (scale + round + clip) to raw features.
+
+    Shared by :func:`quantize_input` and the compiled engine
+    (:mod:`repro.finn.compiled`) so both entry points stay bit-identical
+    by construction.
+    """
+    qmin, qmax = input_quant_range(input_quant)
+    ints = np.clip(
+        round_half_up_array(np.asarray(features, dtype=np.float64) / input_quant.scale),
+        qmin,
+        qmax,
+    )
+    return ints.astype(np.float64)
 
 
 def quantize_input(export: QNNExport, features: np.ndarray) -> np.ndarray:
@@ -41,14 +67,7 @@ def quantize_input(export: QNNExport, features: np.ndarray) -> np.ndarray:
     applies the input quantiser (scale + clip + round) and transmits
     integers.
     """
-    iq = export.input_quant
-    if iq.signed:
-        qmax = 2 ** (iq.bit_width - 1) - 1
-        qmin = -qmax if iq.narrow_range else -(qmax + 1)
-    else:
-        qmin, qmax = 0, 2**iq.bit_width - 1
-    ints = np.clip(round_half_up_array(np.asarray(features, dtype=np.float64) / iq.scale), qmin, qmax)
-    return ints.astype(np.float64)
+    return quantize_features(export.input_quant, features)
 
 
 def build_frontend_graph(export: QNNExport, with_argmax: bool = True, name: str = "qnn") -> DataflowGraph:

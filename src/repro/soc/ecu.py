@@ -283,7 +283,14 @@ class IDSEnabledECU:
 
     # -- shared accounting ------------------------------------------------
     def reference_trace(self) -> HWInferenceTrace:
-        """The steady-state per-inference AXI trace (measured once)."""
+        """The steady-state per-inference AXI trace (measured once).
+
+        Cached per ECU, and the accelerator layer additionally shares
+        the measurement across every ECU bound to the same IP at the
+        same bus timing (see
+        :meth:`MemoryMappedAccelerator.reference_trace`), so a gateway
+        or campaign sweep replays the AXI protocol once, not per ECU.
+        """
         if self._reference_trace is None:
             self._reference_trace = self.accelerator.reference_trace()
         return self._reference_trace

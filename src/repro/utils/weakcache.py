@@ -1,0 +1,50 @@
+"""A keyed cache whose entries die with their anchor object.
+
+Two hot-path caches (the compiled-engine cache in
+:mod:`repro.finn.compiled` and the AXI reference-trace cache in
+:mod:`repro.soc.accelerator`) memoise derived artefacts of long-lived
+objects that are not hashable (mutable dataclasses), so they key on
+``id()`` — which the interpreter recycles.  This helper centralises the
+idiom that makes that safe: each entry holds a weak reference to its
+*anchor* object, lookups verify the anchor is still the same object
+(identity, not equality), and a weakref callback evicts the entry the
+moment the anchor is collected, so a recycled id can never serve a
+stale value.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import Any, Hashable
+
+__all__ = ["KeyedWeakCache"]
+
+
+class KeyedWeakCache:
+    """Thread-safe ``key -> value`` cache anchored on object lifetime."""
+
+    def __init__(self) -> None:
+        self._entries: dict[Hashable, tuple[weakref.ref, Any]] = {}
+        self._lock = threading.Lock()
+
+    def get(self, key: Hashable, anchor: Any) -> Any | None:
+        """The cached value, or None when absent or anchored elsewhere."""
+        entry = self._entries.get(key)
+        if entry is not None and entry[0]() is anchor:
+            return entry[1]
+        return None
+
+    def put(self, key: Hashable, anchor: Any, value: Any) -> None:
+        """Store ``value`` until ``anchor`` is garbage-collected."""
+        with self._lock:
+            # The eviction callback must not take the lock: it can fire
+            # from a garbage-collection pass inside the locked region.
+            # A bare dict.pop is atomic under the GIL.
+            self._entries[key] = (
+                weakref.ref(anchor, lambda _ref, _key=key: self._entries.pop(_key, None)),
+                value,
+            )
+
+    def __len__(self) -> int:
+        return len(self._entries)

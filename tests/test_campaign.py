@@ -33,7 +33,7 @@ from repro.can.campaign import (
 )
 from repro.can.frame import CANFrame
 from repro.can.node import PeriodicSender, counter_payload
-from repro.errors import CANError, SoCError
+from repro.errors import CANError, ConfigError, SoCError
 from repro.experiments.campaigns import render_campaign_sweep, run_campaign_sweep
 from repro.soc.gateway import build_campaign_gateway
 
@@ -395,3 +395,35 @@ class TestCampaignGateway:
         )
         rendered = render_campaign_sweep(result).render()
         assert "multi-segment-storm" in rendered and "shared-ip" in rendered
+
+    def test_parallel_sweep_matches_serial(self, experiment_context):
+        """Thread-pooled sweep: same seeds, same verdicts, same order."""
+        names = ["baseline-dos", "overlapping-mixed"]
+        serial = run_campaign_sweep(
+            experiment_context, scenarios=names, duration=1.0, max_workers=1
+        )
+        parallel = run_campaign_sweep(
+            experiment_context, scenarios=names, duration=1.0, max_workers=2
+        )
+        assert [(r.scenario, r.mode) for r in serial.runs] == [
+            (r.scenario, r.mode) for r in parallel.runs
+        ]
+        for serial_run, parallel_run in zip(serial.runs, parallel.runs):
+            assert serial_run.report.total_frames == parallel_run.report.total_frames
+            assert serial_run.report.total_dropped == parallel_run.report.total_dropped
+            assert serial_run.phases_detected == parallel_run.phases_detected
+            for left, right in zip(
+                serial_run.report.channels, parallel_run.report.channels
+            ):
+                if left.report is None:
+                    assert right.report is None
+                    continue
+                np.testing.assert_array_equal(
+                    left.report.predictions, right.report.predictions
+                )
+
+    def test_invalid_worker_count_rejected(self, experiment_context):
+        with pytest.raises(ConfigError):
+            run_campaign_sweep(
+                experiment_context, scenarios=["baseline-dos"], max_workers=0
+            )
