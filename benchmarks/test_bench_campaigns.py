@@ -5,7 +5,11 @@ deployments (per-channel IPs vs one shared round-robin IP) and archives
 wall time, aggregate sustained rates, drop rates and phase-detection
 counts to ``benchmarks/output/BENCH_campaigns.json`` — the scenario
 framework's perf trajectory from this PR onward.  The rendered sweep
-table is archived as ``EC-campaigns.txt``.
+table is archived as ``EC-campaigns.txt``.  Every scenario deploys its
+*matching* trained detector (``detector="auto"``; the JSON records the
+per-scenario choice), and bus windows run on the columnar arbitration
+kernel; ``wall_seconds`` times the sweep itself — the detectors are
+trained before the clock starts.
 
 A small detector is trained in-file (as in the gateway benchmark), so
 the file runs in around a minute and needs none of the heavyweight
@@ -20,7 +24,12 @@ import time
 import pytest
 from _bench_lane import OUTPUT_DIR, SMOKE
 
-from repro.experiments.campaigns import render_campaign_sweep, run_campaign_sweep
+from repro.can.campaign import SCENARIOS
+from repro.experiments.campaigns import (
+    render_campaign_sweep,
+    run_campaign_sweep,
+    scenario_detector,
+)
 from repro.experiments.context import ExperimentContext, ExperimentSettings
 
 #: Campaign length every scenario is rescaled to.
@@ -40,6 +49,15 @@ def sweep_context():
 
 
 def test_bench_campaign_sweep(sweep_context):
+    # Train/compile each scenario-matched detector outside the timed
+    # window: wall_seconds tracks the sweep itself, not model training.
+    needed = {
+        scenario_detector(SCENARIOS.build(name, duration=DURATION))
+        for name in SCENARIOS.names()
+    }
+    for detector in sorted(needed):
+        sweep_context.ip(detector)
+
     start = time.perf_counter()
     result = run_campaign_sweep(sweep_context, duration=DURATION)
     wall_s = time.perf_counter() - start
@@ -65,7 +83,11 @@ def test_bench_campaign_sweep(sweep_context):
         "scenarios": len(result.scenario_names()),
         "campaign_duration_s": DURATION,
         "wall_seconds": round(wall_s, 3),
+        "engine": "columnar",
+        # "auto" = every scenario carries the detector matching its
+        # mechanics; the per-scenario map records which one that was.
         "detector": result.detector,
+        "detectors": result.detectors(),
         "sustained_fps": {
             f"{run.scenario}/{run.mode}": round(run.report.aggregate_sustained_fps, 1)
             for run in result.runs

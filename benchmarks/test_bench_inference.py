@@ -145,14 +145,24 @@ def test_bench_campaign_sweep_parallel(bench_context, bench_ip):
         bench_context, scenarios=SWEEP_SCENARIOS, duration=SWEEP_DURATION, max_workers=workers
     )
     parallel_s = time.perf_counter() - start
+    start = time.perf_counter()
+    processed = run_campaign_sweep(
+        bench_context,
+        scenarios=SWEEP_SCENARIOS,
+        duration=SWEEP_DURATION,
+        max_workers=workers,
+        backend="process",
+    )
+    process_s = time.perf_counter() - start
 
-    # Same seeds, same verdicts — the pool only changes wall time.
-    assert [(r.scenario, r.mode) for r in serial.runs] == [
-        (r.scenario, r.mode) for r in parallel.runs
-    ]
-    for serial_run, parallel_run in zip(serial.runs, parallel.runs):
-        assert serial_run.report.total_frames == parallel_run.report.total_frames
-        assert serial_run.report.total_dropped == parallel_run.report.total_dropped
+    # Same seeds, same verdicts — the pools only change wall time.
+    for other in (parallel, processed):
+        assert [(r.scenario, r.mode) for r in serial.runs] == [
+            (r.scenario, r.mode) for r in other.runs
+        ]
+        for serial_run, other_run in zip(serial.runs, other.runs):
+            assert serial_run.report.total_frames == other_run.report.total_frames
+            assert serial_run.report.total_dropped == other_run.report.total_dropped
 
     sweep = {
         "scenarios": len(SWEEP_SCENARIOS),
@@ -161,6 +171,12 @@ def test_bench_campaign_sweep_parallel(bench_context, bench_ip):
         "serial_wall_seconds": round(serial_s, 3),
         "parallel_wall_seconds": round(parallel_s, 3),
         "parallel_speedup": round(serial_s / parallel_s, 2),
+        # backend="process": fresh interpreters per worker (pool
+        # initializer ships the pickled IPs once) — the wall includes
+        # process spawn + per-process engine compiles, which is why it
+        # only wins once per-scenario work dwarfs that fixed cost.
+        "process_wall_seconds": round(process_s, 3),
+        "process_speedup": round(serial_s / process_s, 2),
     }
     OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
     bench_path = OUTPUT_DIR / "BENCH_inference.json"
@@ -169,5 +185,6 @@ def test_bench_campaign_sweep_parallel(bench_context, bench_ip):
     bench_path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
     print(
         f"\ncampaign sweep x{len(SWEEP_SCENARIOS)}: serial {serial_s:.2f}s -> "
-        f"parallel {parallel_s:.2f}s ({sweep['parallel_speedup']:.2f}x, {workers} workers)"
+        f"thread {parallel_s:.2f}s ({sweep['parallel_speedup']:.2f}x) / "
+        f"process {process_s:.2f}s ({sweep['process_speedup']:.2f}x, {workers} workers)"
     )

@@ -7,7 +7,9 @@
 #                                             scheduling, per-IP vs. shared-IP rates
 #   benchmarks/output/BENCH_campaigns.json  — attack-campaign sweep rates/drops
 #   benchmarks/output/BENCH_inference.json  — float graph vs. compiled engine fps,
-#                                             serial vs. parallel campaign sweep
+#                                             serial vs. thread/process sweep walls
+#   benchmarks/output/BENCH_bus.json        — event-driven vs. columnar bus
+#                                             simulation frame rates
 #
 # Usage:
 #   scripts/bench.sh            full run: tier-1 tests + micro-benchmarks
@@ -38,6 +40,7 @@ done
 
 MICRO_BENCHES=(
     benchmarks/test_bench_encoder.py
+    benchmarks/test_bench_bus.py
     benchmarks/test_bench_inference.py
     benchmarks/test_bench_gateway.py
     benchmarks/test_bench_campaigns.py
@@ -56,5 +59,5 @@ else
     echo "== micro-benchmarks =="
     python -m pytest -q -s "${MICRO_BENCHES[@]}" benchmarks/test_bench_micro.py
 
-    echo "perf trajectory written to benchmarks/output/BENCH_{encoders,inference,gateway,campaigns}.json"
+    echo "perf trajectory written to benchmarks/output/BENCH_{encoders,bus,inference,gateway,campaigns}.json"
 fi

@@ -14,9 +14,13 @@ dotted path and splits them into two classes:
   ratios must stay above ``1 - threshold`` (default 20%).
 * **informational** — ``speedup`` ratios and ``wall``-clock rates
   (e.g. ``BENCH_inference.json``'s ``graph_wall_fps`` /
-  ``compiled_wall_fps``).  Wall-clock based and noisy (they swing tens
+  ``compiled_wall_fps``, ``BENCH_bus.json``'s ``event_wall_fps`` /
+  ``columnar_wall_fps``).  Wall-clock based and noisy (they swing tens
   of percent run-to-run on one machine, more across smoke-scale
   inputs); they are printed for the log but never fail the check.
+  ``BENCH_bus.json`` gates on its deterministic ``offered_fps``
+  traffic rates instead — a property of the seeded scenario, identical
+  across machines.
   Their hard floors live in the benchmarks themselves (``MIN_SPEEDUP``
   asserts), which the smoke lane still executes.  Informational
   markers take precedence, so a wall-clock rate may honestly carry an

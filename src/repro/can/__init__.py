@@ -23,6 +23,13 @@ from repro.can.attacks import (
     SuspensionAttacker,
 )
 from repro.can.bus import BusRecord, BusSimulator
+from repro.can.fastbus import (
+    ArbitrationResult,
+    ScheduleArray,
+    build_schedule,
+    simulate_arbitration,
+    standard_wire_bits,
+)
 from repro.can.campaign import (
     ATTACK_KINDS,
     AttackPhase,
@@ -37,6 +44,7 @@ from repro.can.node import PeriodicSender, ScheduledFrame, TrafficSource
 
 __all__ = [
     "ATTACK_KINDS",
+    "ArbitrationResult",
     "AttackPhase",
     "BurstDoSAttacker",
     "BusRecord",
@@ -53,12 +61,16 @@ __all__ = [
     "ReplayAttacker",
     "SCENARIOS",
     "ScenarioRegistry",
+    "ScheduleArray",
     "ScheduledFrame",
     "SpoofingAttacker",
     "SuspensionAttacker",
     "TrafficSource",
+    "build_schedule",
     "compile_campaign",
     "crc15",
     "read_car_hacking_csv",
+    "simulate_arbitration",
+    "standard_wire_bits",
     "write_car_hacking_csv",
 ]

@@ -35,12 +35,17 @@ of the bus for the wrapper.
 
 from __future__ import annotations
 
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
+
+import numpy as np
 
 from repro.can.frame import CANFrame, MAX_STANDARD_ID
 from repro.can.node import ScheduledFrame, TrafficSource
 from repro.errors import CANError
 from repro.utils.rng import new_rng
+
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard
+    from repro.can.fastbus import ScheduleArray
 
 __all__ = [
     "BurstDoSAttacker",
@@ -72,11 +77,13 @@ def _validate_windows(windows: Sequence[Window]) -> list[Window]:
 class _WindowedSource:
     """Shared logic: frame emission restricted to active windows.
 
-    Subclasses implement :meth:`_window_frames` to enumerate one
-    window's releases; the base class validates/sorts the windows and
-    clips every window at the simulation horizon, so all attackers share
-    identical window/clipping semantics and a campaign can schedule any
-    of them uniformly.
+    Subclasses implement :meth:`_window_schedule` to emit one window's
+    releases as columnar arrays; the base class validates/sorts the
+    windows and clips every window at the simulation horizon, so all
+    attackers share identical window/clipping semantics and a campaign
+    can schedule any of them uniformly.  The scalar :meth:`frames`
+    iterator materialises the same arrays — both bus engines consume
+    one draw path.
     """
 
     def __init__(self, windows: Sequence[Window], name: str, seed: int):
@@ -84,15 +91,23 @@ class _WindowedSource:
         self.name = name
         self._rng = new_rng(seed, f"attacker-{name}")
 
-    def _window_frames(self, start: float, end: float, until: float) -> Iterator[ScheduledFrame]:
-        """Yield this window's releases with ``release_time < min(end, until)``."""
+    def _window_schedule(self, start: float, end: float, until: float) -> "ScheduleArray":
+        """This window's releases (all ``< min(end, until)``) as columns."""
         raise NotImplementedError
 
+    def frames_array(self, until: float) -> "ScheduleArray":
+        """The whole-horizon columnar schedule across active windows."""
+        from repro.can.fastbus import ScheduleArray
+
+        parts = [
+            self._window_schedule(start, end, until)
+            for start, end in self.windows
+            if start < until
+        ]
+        return ScheduleArray.concatenate([part for part in parts if len(part)])
+
     def frames(self, until: float) -> Iterator[ScheduledFrame]:
-        for start, end in self.windows:
-            if start >= until:
-                break
-            yield from self._window_frames(start, end, until)
+        yield from self.frames_array(until).scheduled_frames()
 
 
 class _WindowedInjector(_WindowedSource):
@@ -104,15 +119,26 @@ class _WindowedInjector(_WindowedSource):
         super().__init__(windows, name, seed)
         self.interval = interval
 
-    def _build_frame(self) -> CANFrame:
+    def _payload_columns(self, releases: np.ndarray) -> tuple:
+        """``(can_ids, payloads, dlcs)`` for one window's release grid."""
         raise NotImplementedError
 
-    def _window_frames(self, start: float, end: float, until: float) -> Iterator[ScheduledFrame]:
-        release = start
-        horizon = min(end, until)
-        while release < horizon:
-            yield ScheduledFrame(release, self._build_frame(), "T", self.name)
-            release += self.interval
+    def _window_schedule(self, start: float, end: float, until: float) -> "ScheduleArray":
+        from repro.can import fastbus
+
+        releases = fastbus.release_grid(start, min(end, until), self.interval)
+        return self._schedule_for(releases)
+
+    def _schedule_for(self, releases: np.ndarray) -> "ScheduleArray":
+        from repro.can import fastbus
+
+        if releases.size == 0:
+            return fastbus.ScheduleArray.empty()
+        can_ids, payloads, dlcs = self._payload_columns(releases)
+        return fastbus.schedule_columns(
+            releases, can_ids=can_ids, payloads=payloads, dlcs=dlcs,
+            label=1, source=self.name,
+        )
 
 
 class DoSAttacker(_WindowedInjector):
@@ -135,8 +161,10 @@ class DoSAttacker(_WindowedInjector):
         self.can_id = can_id
         self.payload = payload
 
-    def _build_frame(self) -> CANFrame:
-        return CANFrame(self.can_id, self.payload)
+    def _payload_columns(self, releases: np.ndarray) -> tuple:
+        row = np.frombuffer(self.payload, dtype=np.uint8)
+        payloads = np.broadcast_to(row, (releases.size, row.size)).copy()
+        return self.can_id, payloads, None
 
 
 class BurstDoSAttacker(DoSAttacker):
@@ -171,16 +199,18 @@ class BurstDoSAttacker(DoSAttacker):
         self.burst_on = burst_on
         self.burst_off = burst_off
 
-    def _window_frames(self, start: float, end: float, until: float) -> Iterator[ScheduledFrame]:
+    def _window_schedule(self, start: float, end: float, until: float) -> "ScheduleArray":
+        from repro.can import fastbus
+
         horizon = min(end, until)
+        pulses = []
         cursor = start
         while cursor < horizon:
             burst_end = min(cursor + self.burst_on, horizon)
-            release = cursor
-            while release < burst_end:
-                yield ScheduledFrame(release, self._build_frame(), "T", self.name)
-                release += self.interval
+            pulses.append(fastbus.release_grid(cursor, burst_end, self.interval))
             cursor = cursor + self.burst_on + self.burst_off
+        releases = np.concatenate(pulses) if pulses else np.zeros(0)
+        return self._schedule_for(releases)
 
 
 class RampDoSAttacker(DoSAttacker):
@@ -215,14 +245,19 @@ class RampDoSAttacker(DoSAttacker):
         self.interval_start = interval_start
         self.interval_end = interval_end
 
-    def _window_frames(self, start: float, end: float, until: float) -> Iterator[ScheduledFrame]:
+    def _window_schedule(self, start: float, end: float, until: float) -> "ScheduleArray":
         horizon = min(end, until)
         span = end - start
+        releases: list[float] = []
         release = start
+        # The cadence is a recurrence on the release itself, so the
+        # grid is built by the same scalar accumulation the profile
+        # defines (counts are small: one entry per injected frame).
         while release < horizon:
-            yield ScheduledFrame(release, self._build_frame(), "T", self.name)
+            releases.append(release)
             progress = (release - start) / span
             release += self.interval_start + (self.interval_end - self.interval_start) * progress
+        return self._schedule_for(np.array(releases, dtype=np.float64))
 
 
 class FuzzyAttacker(_WindowedInjector):
@@ -249,10 +284,11 @@ class FuzzyAttacker(_WindowedInjector):
         self.id_range = id_range
         self.dlc = dlc
 
-    def _build_frame(self) -> CANFrame:
-        can_id = int(self._rng.integers(self.id_range[0], self.id_range[1] + 1))
-        payload = bytes(int(b) for b in self._rng.integers(0, 256, size=self.dlc))
-        return CANFrame(can_id, payload)
+    def _payload_columns(self, releases: np.ndarray) -> tuple:
+        n = releases.size
+        can_ids = self._rng.integers(self.id_range[0], self.id_range[1] + 1, size=n)
+        payloads = self._rng.integers(0, 256, size=(n, self.dlc)).astype(np.uint8)
+        return can_ids.astype(np.int64), payloads, None
 
 
 class SpoofingAttacker(_WindowedInjector):
@@ -274,10 +310,15 @@ class SpoofingAttacker(_WindowedInjector):
         super().__init__(interval, windows, name or f"spoof-0x{target_id:03X}", seed)
         self.target_id = target_id
         self.payload_pool = list(payload_pool) if payload_pool else [bytes([0xFF, 0x00] * 4)]
+        self._pool_payloads = np.frombuffer(
+            b"".join(entry + bytes(8 - len(entry)) for entry in self.payload_pool),
+            dtype=np.uint8,
+        ).reshape(len(self.payload_pool), 8).copy()
+        self._pool_dlcs = np.array([len(entry) for entry in self.payload_pool], dtype=np.int64)
 
-    def _build_frame(self) -> CANFrame:
-        choice = int(self._rng.integers(0, len(self.payload_pool)))
-        return CANFrame(self.target_id, self.payload_pool[choice])
+    def _payload_columns(self, releases: np.ndarray) -> tuple:
+        choices = self._rng.integers(0, len(self.payload_pool), size=releases.size)
+        return self.target_id, self._pool_payloads[choices], self._pool_dlcs[choices]
 
 
 class ReplayAttacker(_WindowedSource):
@@ -316,19 +357,52 @@ class ReplayAttacker(_WindowedSource):
         super().__init__(list(windows), name, seed)
         self.capture = list(capture)
         self.offsets = list(offsets)
+        # Columnar view of the replayed capture, built once: replays of
+        # long captures cost array slices, not per-frame object churn.
+        self._offsets = np.array(self.offsets, dtype=np.float64)
+        self._ids = np.array([frame.can_id for frame in self.capture], dtype=np.int64)
+        self._dlcs = np.array([frame.dlc for frame in self.capture], dtype=np.int64)
+        self._payloads = (
+            np.frombuffer(
+                b"".join(frame.data + bytes(8 - frame.dlc) for frame in self.capture),
+                dtype=np.uint8,
+            ).reshape(len(self.capture), 8).copy()
+            if self.capture
+            else np.zeros((0, 8), dtype=np.uint8)
+        )
+        self._wire_bits = np.array(
+            [
+                frame.bit_length() if (frame.extended or frame.rtr) else -1
+                for frame in self.capture
+            ],
+            dtype=np.int64,
+        )
 
     @property
     def window(self) -> Window:
         """The first active window (legacy single-window accessor)."""
         return self.windows[0]
 
-    def _window_frames(self, start: float, end: float, until: float) -> Iterator[ScheduledFrame]:
+    def _window_schedule(self, start: float, end: float, until: float) -> "ScheduleArray":
+        from repro.can.fastbus import ScheduleArray
+
         horizon = min(end, until)
-        for frame, offset in zip(self.capture, self.offsets):
-            release = start + offset
-            if release >= horizon:
-                break
-            yield ScheduledFrame(release, frame, "T", self.name)
+        releases = start + self._offsets
+        # Same clipping as the scalar replay: stop at the *first*
+        # overrun, preserving capture order even for unsorted offsets.
+        overruns = releases >= horizon
+        cut = int(np.argmax(overruns)) if overruns.any() else releases.size
+        if cut == 0:
+            return ScheduleArray.empty()
+        return ScheduleArray(
+            release_times=releases[:cut],
+            can_ids=self._ids[:cut],
+            dlcs=self._dlcs[:cut],
+            payloads=self._payloads[:cut],
+            labels=np.ones(cut, dtype=np.int64),
+            sources=np.full(cut, self.name),
+            wire_bits=self._wire_bits[:cut],
+        )
 
 
 class SuspensionAttacker:
@@ -374,6 +448,43 @@ class SuspensionAttacker:
 
     def _active(self, release_time: float) -> bool:
         return any(start <= release_time < end for start, end in self.windows)
+
+    def frames_array(self, until: float) -> "ScheduleArray":
+        """Columnar transform of the victim's schedule (drop or delay).
+
+        The victim's columns come from its own ``frames_array`` (or the
+        scalar fallback), masks select the targeted in-window frames,
+        and the stable release re-sort reproduces the scalar path's
+        ordering exactly.
+        """
+        from repro.can import fastbus
+
+        schedule = fastbus.source_schedule(self.victim, until)
+        releases = schedule.release_times
+        hit = np.zeros(len(schedule), dtype=bool)
+        for start, end in self.windows:
+            hit |= (releases >= start) & (releases < end)
+        if self.can_id is not None:
+            hit &= schedule.can_ids == self.can_id
+        if self.mode == "drop":
+            return schedule.take(np.flatnonzero(~hit)).sorted_by_release()
+        shifted = releases.copy()
+        shifted[hit] = releases[hit] + self.delay
+        labels = schedule.labels.copy()
+        labels[hit] = 1
+        sources = schedule.sources.astype(object)
+        sources[hit] = self.name
+        tampered = fastbus.ScheduleArray(
+            release_times=shifted,
+            can_ids=schedule.can_ids,
+            dlcs=schedule.dlcs,
+            payloads=schedule.payloads,
+            labels=labels,
+            sources=sources.astype(str),
+            wire_bits=schedule.wire_bits,
+        )
+        keep = ~(hit & (shifted >= until))
+        return tampered.take(np.flatnonzero(keep)).sorted_by_release()
 
     def frames(self, until: float) -> Iterator[ScheduledFrame]:
         out: list[ScheduledFrame] = []
@@ -439,6 +550,21 @@ class MasqueradeAttacker:
         )
         self.windows = self._suppressor.windows
         self.interval = cadence
+
+    def frames_array(self, until: float) -> "ScheduleArray":
+        from repro.can.fastbus import ScheduleArray
+
+        merged = ScheduleArray.concatenate(
+            [
+                part
+                for part in (
+                    self._suppressor.frames_array(until),
+                    self._injector.frames_array(until),
+                )
+                if len(part)
+            ]
+        )
+        return merged.sorted_by_release()
 
     def frames(self, until: float) -> Iterator[ScheduledFrame]:
         merged = list(self._suppressor.frames(until)) + list(self._injector.frames(until))

@@ -21,11 +21,15 @@ from __future__ import annotations
 
 import heapq
 from dataclasses import dataclass
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from repro.can.frame import CANFrame
 from repro.can.node import ScheduledFrame, TrafficSource
 from repro.errors import CANError
+
+if TYPE_CHECKING:  # pragma: no cover - circular-import guard
+    from repro.can.fastbus import ArbitrationResult
+    from repro.can.log import CaptureArray
 
 __all__ = ["BusRecord", "BusSimulator", "bus_load"]
 
@@ -144,14 +148,52 @@ class BusSimulator:
             bus_free_at = end
         return records
 
+    def capture(self, duration: float) -> "ArbitrationResult":
+        """Simulate ``duration`` seconds on the columnar fast path.
 
-def bus_load(records: Sequence[BusRecord] | Iterable[BusRecord], duration: float, bitrate: float) -> float:
+        Bit-exact against :meth:`run` (same winners, same timestamps,
+        same horizon drops — see :mod:`repro.can.fastbus`), but the
+        schedule is emitted, arbitrated and recorded as numpy columns:
+        no per-frame generator yields, heap pops, CRC passes or record
+        objects on the hot path.  Returns the columnar
+        :class:`~repro.can.fastbus.ArbitrationResult`; :meth:`run`
+        remains the event-driven reference for A/B verification.
+        """
+        from repro.can.fastbus import build_schedule, simulate_arbitration
+
+        if duration <= 0:
+            raise CANError(f"duration must be positive, got {duration}")
+        return simulate_arbitration(
+            build_schedule(self.sources, duration), self.bitrate, duration
+        )
+
+
+def bus_load(
+    records: "Sequence[BusRecord] | Iterable[BusRecord] | CaptureArray",
+    duration: float,
+    bitrate: float,
+) -> float:
     """Fraction of bus time occupied by the recorded frames.
+
+    Accepts either event-engine :class:`BusRecord` sequences (exact for
+    any frame format, one Python CRC pass per record) or a columnar
+    :class:`~repro.can.log.CaptureArray` — vectorised over the id/DLC/
+    payload columns via :func:`repro.can.fastbus.standard_wire_bits`,
+    identical occupancy for the standard data frames captures contain.
 
     >>> bus_load([], 1.0, 500_000)
     0.0
     """
     if duration <= 0 or bitrate <= 0:
         raise CANError("duration and bitrate must be positive")
-    busy_bits = sum(record.frame.bit_length() for record in records)
+    from repro.can.log import CaptureArray
+
+    if isinstance(records, CaptureArray):
+        from repro.can.fastbus import standard_wire_bits
+
+        busy_bits = int(
+            standard_wire_bits(records.can_ids, records.dlcs, records.payloads).sum()
+        )
+    else:
+        busy_bits = sum(record.frame.bit_length() for record in records)
     return min(busy_bits / (bitrate * duration), 1.0)

@@ -46,6 +46,7 @@ from repro.can.attacks import (
     SuspensionAttacker,
 )
 from repro.can.bus import BITRATE_HS_CAN, BusSimulator
+from repro.can.frame import CANFrame
 from repro.errors import CANError
 from repro.utils.rng import derive_seed
 
@@ -258,12 +259,19 @@ def _replay_source(
             seed=seed,
         )
     source_duration = float(params.get("source_duration", min(phase.end - phase.start, 1.0)))
-    clean = build_vehicle_bus(vehicle_seed=vehicle_seed, bitrate=bitrate).run(source_duration)
-    if not clean:
+    # The columnar engine records the clean window (bit-exact against
+    # the event engine, without per-frame record objects).
+    clean = build_vehicle_bus(vehicle_seed=vehicle_seed, bitrate=bitrate).capture(
+        source_duration
+    )
+    if not len(clean):
         raise CANError(f"replay phase recorded no clean traffic in {source_duration} s")
-    origin = clean[0].queued_at
-    frames = [record.frame for record in clean]
-    offsets = [record.queued_at - origin for record in clean]
+    origin = clean.queued_at[0]
+    frames = [
+        CANFrame(int(clean.capture.can_ids[i]), clean.capture.payloads[i, : int(clean.capture.dlcs[i])].tobytes())
+        for i in range(len(clean))
+    ]
+    offsets = (clean.queued_at - origin).tolist()
     return ReplayAttacker(frames, offsets, windows=[phase.window], name=name, seed=seed)
 
 

@@ -1,0 +1,623 @@
+"""Columnar bus engine: vectorised schedules and arbitration replay.
+
+The event-driven :class:`~repro.can.bus.BusSimulator` is the *reference*
+engine: per-frame generator yields, a heapq pop per frame, a CRC-15 /
+bit-stuffing pass per frame, and a :class:`~repro.can.bus.BusRecord`
+object per frame.  That is faithful but slow — once inference is
+compiled (PR 4), campaign and gateway runs are dominated by the bus.
+
+This module is the *compute* engine for the same physics:
+
+* :class:`ScheduleArray` — a columnar frame schedule (release times,
+  identifiers, payload bytes, labels, source names as numpy arrays).
+  Traffic sources emit one via ``frames_array(until)``; sources that
+  only implement the scalar iterator are materialised by
+  :func:`schedule_from_frames` (the exotic fallback).
+* :func:`standard_wire_bits` — exact CAN 2.0A wire lengths (CRC-15 +
+  bit stuffing + trailer) for whole schedules at once, collapsing
+  duplicate ``(id, payload)`` rows first, so a DoS flood costs one CRC
+  instead of tens of thousands.
+* :func:`simulate_arbitration` — arbitration replay as a columnar
+  sweep.  Uncontended stretches (each frame completes before the next
+  release) are resolved in vectorised runs; only genuinely contended
+  busy periods fall back to a tight heap loop over primitive tuples.
+
+**Bit-exactness.**  The kernel reproduces ``BusSimulator.run`` exactly:
+same winners, same timestamps (the same IEEE operations in the same
+order, not merely close), same capture-horizon drop semantics.  The
+CI equivalence sweep (``tests/test_fastbus.py``) holds both engines to
+that contract across mixed periodic/attacker topologies, bitrates and
+horizon clipping.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, Sequence
+
+import numpy as np
+
+from repro.can.frame import _CRC15_POLY, _TRAILER_BITS
+from repro.errors import CANError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (log -> bus -> node)
+    from repro.can.bus import BusRecord
+    from repro.can.log import CaptureArray
+    from repro.can.node import ScheduledFrame, TrafficSource
+
+__all__ = [
+    "ArbitrationResult",
+    "ScheduleArray",
+    "build_schedule",
+    "release_grid",
+    "schedule_columns",
+    "schedule_from_frames",
+    "simulate_arbitration",
+    "standard_wire_bits",
+]
+
+#: Payload slots per frame (classic CAN maximum), kept in sync with
+#: :data:`repro.can.log.MAX_PAYLOAD_BYTES` without importing it here.
+_PAYLOAD_SLOTS = 8
+
+#: Standard data frame header bits before the payload: SOF(1) + ID(11)
+#: + RTR/IDE/r0(3) + DLC(4).
+_HEADER_BITS = 19
+_CRC_BITS = 15
+
+#: Sentinel in :attr:`ScheduleArray.wire_bits`: compute vectorised.
+WIRE_BITS_UNSET = -1
+
+
+# ---------------------------------------------------------------------------
+# Columnar schedules
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScheduleArray:
+    """A columnar frame schedule: what a traffic source will release.
+
+    One row per scheduled frame.  ``payloads`` rows are zero-padded to
+    eight bytes (``dlcs`` keeps the true lengths); ``labels`` uses the
+    capture convention (1 = attack/tampered ``"T"``, 0 = regular
+    ``"R"``); ``sources`` carries the emitting node's name for phase
+    attribution.  ``wire_bits`` is the exact stuffed wire length
+    including the trailer, or :data:`WIRE_BITS_UNSET` for standard data
+    frames whose length the kernel computes vectorised (the scalar
+    fallback pre-fills it for extended/RTR frames, which the columnar
+    length kernel does not model).
+    """
+
+    release_times: np.ndarray  #: (N,) float64 release instants
+    can_ids: np.ndarray  #: (N,) int64 identifiers
+    dlcs: np.ndarray  #: (N,) int64 true payload lengths
+    payloads: np.ndarray  #: (N, 8) uint8 zero-padded payload bytes
+    labels: np.ndarray  #: (N,) int64, 1 for attack ("T") frames
+    sources: np.ndarray  #: (N,) unicode source names
+    wire_bits: np.ndarray  #: (N,) int64 exact wire bits, -1 = compute
+
+    def __post_init__(self) -> None:
+        n = self.release_times.shape[0]
+        for name in ("can_ids", "dlcs", "labels", "sources", "wire_bits"):
+            if getattr(self, name).shape != (n,):
+                raise CANError(f"ScheduleArray field {name} must have shape ({n},)")
+        if self.payloads.shape != (n, _PAYLOAD_SLOTS):
+            raise CANError(
+                f"ScheduleArray payloads must have shape ({n}, {_PAYLOAD_SLOTS}), "
+                f"got {self.payloads.shape}"
+            )
+        if self.payloads.dtype != np.uint8:
+            raise CANError(f"ScheduleArray payloads must be uint8, got {self.payloads.dtype}")
+
+    def __len__(self) -> int:
+        return int(self.release_times.shape[0])
+
+    @classmethod
+    def empty(cls) -> "ScheduleArray":
+        return cls(
+            release_times=np.zeros(0, dtype=np.float64),
+            can_ids=np.zeros(0, dtype=np.int64),
+            dlcs=np.zeros(0, dtype=np.int64),
+            payloads=np.zeros((0, _PAYLOAD_SLOTS), dtype=np.uint8),
+            labels=np.zeros(0, dtype=np.int64),
+            sources=np.zeros(0, dtype="<U1"),
+            wire_bits=np.zeros(0, dtype=np.int64),
+        )
+
+    def take(self, indices: np.ndarray) -> "ScheduleArray":
+        """Reorder / subset all columns with one index array."""
+        return ScheduleArray(
+            release_times=self.release_times[indices],
+            can_ids=self.can_ids[indices],
+            dlcs=self.dlcs[indices],
+            payloads=self.payloads[indices],
+            labels=self.labels[indices],
+            sources=self.sources[indices],
+            wire_bits=self.wire_bits[indices],
+        )
+
+    @classmethod
+    def concatenate(cls, parts: Sequence["ScheduleArray"]) -> "ScheduleArray":
+        """Stack schedules (source attach order — ties stay stable)."""
+        if not parts:
+            return cls.empty()
+        if len(parts) == 1:
+            return parts[0]
+        return cls(
+            release_times=np.concatenate([p.release_times for p in parts]),
+            can_ids=np.concatenate([p.can_ids for p in parts]),
+            dlcs=np.concatenate([p.dlcs for p in parts]),
+            payloads=np.concatenate([p.payloads for p in parts], axis=0),
+            labels=np.concatenate([p.labels for p in parts]),
+            sources=np.concatenate([p.sources for p in parts]),
+            wire_bits=np.concatenate([p.wire_bits for p in parts]),
+        )
+
+    def sorted_by_release(self) -> "ScheduleArray":
+        """Stable sort by release time (= the event engine's merge order)."""
+        return self.take(np.argsort(self.release_times, kind="stable"))
+
+    def resolved_wire_bits(self) -> np.ndarray:
+        """Exact wire bits per frame, computing unset rows vectorised."""
+        unset = self.wire_bits == WIRE_BITS_UNSET
+        if not np.any(unset):
+            return self.wire_bits
+        bits = self.wire_bits.copy()
+        bits[unset] = standard_wire_bits(
+            self.can_ids[unset], self.dlcs[unset], self.payloads[unset]
+        )
+        return bits
+
+    def scheduled_frames(self) -> "Iterable[ScheduledFrame]":
+        """Materialise the scalar :class:`ScheduledFrame` stream.
+
+        This is how the scalar ``frames()`` iterators are implemented on
+        top of the columnar emitters, so both engines consume one draw
+        path by construction.
+        """
+        from repro.can.frame import CANFrame
+        from repro.can.node import ScheduledFrame
+
+        releases = self.release_times.tolist()
+        ids = self.can_ids.tolist()
+        dlcs = self.dlcs.tolist()
+        labels = self.labels.tolist()
+        sources = self.sources.tolist()
+        payload_bytes = self.payloads.tobytes()
+        for k in range(len(releases)):
+            data = payload_bytes[k * _PAYLOAD_SLOTS : k * _PAYLOAD_SLOTS + dlcs[k]]
+            yield ScheduledFrame(
+                releases[k],
+                CANFrame(ids[k], data),
+                "T" if labels[k] else "R",
+                sources[k],
+            )
+
+
+def schedule_columns(
+    release_times: np.ndarray,
+    can_ids: int | np.ndarray,
+    payloads: np.ndarray,
+    label: int,
+    source: str,
+    dlcs: int | np.ndarray | None = None,
+    wire_bits: np.ndarray | None = None,
+) -> ScheduleArray:
+    """Assemble a :class:`ScheduleArray` from emitter columns.
+
+    ``payloads`` is ``(N, dlc)`` uint8 (uniform length, padded here) or
+    already ``(N, 8)`` with explicit per-frame ``dlcs``.  ``can_ids``
+    and ``dlcs`` broadcast from scalars; ``label``/``source`` apply to
+    every row (one emitter = one label and one node name).
+    """
+    release_times = np.asarray(release_times, dtype=np.float64)
+    n = release_times.shape[0]
+    payloads = np.asarray(payloads, dtype=np.uint8)
+    if payloads.ndim != 2 or payloads.shape[0] != n or payloads.shape[1] > _PAYLOAD_SLOTS:
+        raise CANError(f"payloads must be (N, <={_PAYLOAD_SLOTS}) uint8, got {payloads.shape}")
+    width = payloads.shape[1]
+    if width < _PAYLOAD_SLOTS:
+        padded = np.zeros((n, _PAYLOAD_SLOTS), dtype=np.uint8)
+        padded[:, :width] = payloads
+        payloads = padded
+    if dlcs is None:
+        dlcs = width
+    return ScheduleArray(
+        release_times=release_times,
+        can_ids=np.broadcast_to(np.asarray(can_ids, dtype=np.int64), (n,)).copy()
+        if np.ndim(can_ids) == 0
+        else np.asarray(can_ids, dtype=np.int64),
+        dlcs=np.broadcast_to(np.asarray(dlcs, dtype=np.int64), (n,)).copy()
+        if np.ndim(dlcs) == 0
+        else np.asarray(dlcs, dtype=np.int64),
+        payloads=payloads,
+        labels=np.full(n, int(label), dtype=np.int64),
+        sources=np.full(n, source),
+        wire_bits=np.full(n, WIRE_BITS_UNSET, dtype=np.int64)
+        if wire_bits is None
+        else np.asarray(wire_bits, dtype=np.int64),
+    )
+
+
+def release_grid(start: float, stop: float, step: float) -> np.ndarray:
+    """Releases ``start, start + step, ...`` strictly below ``stop``.
+
+    Uses the closed-form grid (``start + k * step``) rather than
+    repeated accumulation; the trailing mask keeps the float boundary
+    exact (never a release at or past ``stop``).
+    """
+    if step <= 0:
+        raise CANError(f"grid step must be positive, got {step}")
+    if stop <= start:
+        return np.zeros(0, dtype=np.float64)
+    count = max(int(np.ceil((stop - start) / step)), 0)
+    while start + count * step < stop:  # float-rounding guard
+        count += 1
+    releases = start + step * np.arange(count, dtype=np.float64)
+    return releases[releases < stop]
+
+
+def schedule_from_frames(frames: "Iterable[ScheduledFrame]") -> ScheduleArray:
+    """Materialise a scalar frame iterator (the exotic-source fallback).
+
+    Extended/RTR frames get their exact wire length computed here (the
+    vectorised length kernel models standard data frames only); their
+    columnar capture rows carry identifier, DLC and payload exactly as
+    :func:`repro.can.log.records_from_bus` would record them.
+    """
+    releases: list[float] = []
+    ids: list[int] = []
+    dlcs: list[int] = []
+    chunks: list[bytes] = []
+    labels: list[int] = []
+    sources: list[str] = []
+    wire: list[int] = []
+    for scheduled in frames:
+        frame = scheduled.frame
+        releases.append(scheduled.release_time)
+        ids.append(frame.can_id)
+        dlcs.append(frame.dlc)
+        chunks.append(frame.data + bytes(_PAYLOAD_SLOTS - frame.dlc))
+        labels.append(1 if scheduled.label == "T" else 0)
+        sources.append(scheduled.source)
+        wire.append(
+            frame.bit_length() if (frame.extended or frame.rtr) else WIRE_BITS_UNSET
+        )
+    n = len(releases)
+    if n == 0:
+        return ScheduleArray.empty()
+    return ScheduleArray(
+        release_times=np.array(releases, dtype=np.float64),
+        can_ids=np.array(ids, dtype=np.int64),
+        dlcs=np.array(dlcs, dtype=np.int64),
+        payloads=np.frombuffer(b"".join(chunks), dtype=np.uint8).reshape(
+            n, _PAYLOAD_SLOTS
+        ).copy(),
+        labels=np.array(labels, dtype=np.int64),
+        sources=np.array(sources),
+        wire_bits=np.array(wire, dtype=np.int64),
+    )
+
+
+def source_schedule(source: "TrafficSource", until: float) -> ScheduleArray:
+    """One source's schedule in its own emission order (no re-sort).
+
+    Columnar sources emit directly; scalar-only sources are
+    materialised.  Wrappers use this to transform a victim's stream
+    while preserving its yield order, exactly as the scalar wrappers
+    iterate it.
+    """
+    emitter = getattr(source, "frames_array", None)
+    if emitter is not None:
+        return emitter(until)
+    return schedule_from_frames(source.frames(until))
+
+
+def build_schedule(sources: "Sequence[TrafficSource]", until: float) -> ScheduleArray:
+    """Merge every source's schedule, sorted as the event engine sorts.
+
+    Sources exposing ``frames_array`` emit columns directly; anything
+    else is materialised from its scalar iterator.  Concatenation in
+    attach order followed by a stable release-time sort reproduces the
+    reference engine's merge exactly (ties keep attach order).
+    """
+    parts = [source_schedule(source, until) for source in sources]
+    return ScheduleArray.concatenate([part for part in parts if len(part)]).sorted_by_release()
+
+
+# ---------------------------------------------------------------------------
+# Vectorised wire lengths (CRC-15 + bit stuffing over whole schedules)
+# ---------------------------------------------------------------------------
+
+
+def _wire_bits_for_rows(rows: np.ndarray) -> np.ndarray:
+    """Exact wire bits for unique packed rows ``[id_hi, id_lo, dlc, 8 bytes]``."""
+    out = np.zeros(rows.shape[0], dtype=np.int64)
+    dlcs = rows[:, 2].astype(np.int64)
+    for dlc in np.unique(dlcs):
+        group = np.flatnonzero(dlcs == dlc)
+        sub = rows[group]
+        m = sub.shape[0]
+        width = int(dlc)
+        body_len = _HEADER_BITS + 8 * width
+        bits = np.zeros((m, body_len + _CRC_BITS), dtype=np.uint8)
+        ids = (sub[:, 0].astype(np.int64) << 8) | sub[:, 1].astype(np.int64)
+        bits[:, 1:12] = ((ids[:, None] >> np.arange(10, -1, -1)) & 1).astype(np.uint8)
+        # RTR/IDE/r0 are dominant zeros for standard data frames.
+        bits[:, 15:19] = ((width >> np.arange(3, -1, -1)) & 1).astype(np.uint8)
+        if width:
+            bits[:, _HEADER_BITS:body_len] = np.unpackbits(
+                sub[:, 3 : 3 + width], axis=1
+            )
+        # CRC-15 over the body, one numpy pass per bit position —
+        # identical recurrence to :func:`repro.can.frame.crc15`.
+        crc = np.zeros(m, dtype=np.int64)
+        for column in range(body_len):
+            feedback = ((crc >> 14) & 1) ^ bits[:, column]
+            crc = ((crc << 1) & 0x7FFF) ^ (feedback * _CRC15_POLY)
+        bits[:, body_len:] = ((crc[:, None] >> np.arange(14, -1, -1)) & 1).astype(np.uint8)
+        # Bit stuffing over SOF..CRC: run-state per row, one pass per
+        # column — identical semantics to :func:`stuff_bits` (a stuff
+        # bit resets the run and counts toward the next one).
+        run_value = np.full(m, -1, dtype=np.int16)
+        run_length = np.zeros(m, dtype=np.int64)
+        stuffed = np.zeros(m, dtype=np.int64)
+        for column in range(body_len + _CRC_BITS):
+            bit = bits[:, column].astype(np.int16)
+            run_length = np.where(bit == run_value, run_length + 1, 1)
+            run_value = bit
+            hit = run_length == 5
+            stuffed += hit
+            run_value = np.where(hit, 1 - bit, run_value)
+            run_length = np.where(hit, 1, run_length)
+        out[group] = body_len + _CRC_BITS + stuffed + _TRAILER_BITS
+    return out
+
+
+def standard_wire_bits(
+    can_ids: np.ndarray, dlcs: np.ndarray, payloads: np.ndarray
+) -> np.ndarray:
+    """Stuffed wire bits (incl. trailer) of standard data frames, batched.
+
+    Bit-exact against ``CANFrame(id, data).bit_length()`` for every
+    standard (11-bit, non-RTR) data frame.  Duplicate ``(id, dlc,
+    payload)`` rows are collapsed first — a DoS flood of identical
+    frames costs one CRC/stuffing pass, not one per frame.
+    """
+    can_ids = np.asarray(can_ids, dtype=np.int64)
+    dlcs = np.asarray(dlcs, dtype=np.int64)
+    payloads = np.asarray(payloads, dtype=np.uint8)
+    n = can_ids.shape[0]
+    if n == 0:
+        return np.zeros(0, dtype=np.int64)
+    if np.any((can_ids < 0) | (can_ids > 0x7FF)):
+        raise CANError("standard_wire_bits models 11-bit identifiers only")
+    width = 3 + _PAYLOAD_SLOTS
+    rows = np.zeros((n, width), dtype=np.uint8)
+    rows[:, 0] = can_ids >> 8
+    rows[:, 1] = can_ids & 0xFF
+    rows[:, 2] = dlcs
+    rows[:, 3:] = payloads
+    # Zero bytes beyond the DLC so padding never perturbs uniqueness.
+    rows[:, 3:][np.arange(_PAYLOAD_SLOTS) >= dlcs[:, None]] = 0
+    # Dedup via a fixed-width bytes view: unique on |S11 sorts with
+    # memcmp, an order of magnitude faster than axis-0 unique's
+    # void-compare path on flood-scale schedules.
+    keys = np.ascontiguousarray(rows).view(f"|S{width}").ravel()
+    unique_keys, first_index, inverse = np.unique(
+        keys, return_index=True, return_inverse=True
+    )
+    return _wire_bits_for_rows(rows[first_index])[inverse]
+
+
+# ---------------------------------------------------------------------------
+# Arbitration replay
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ArbitrationResult:
+    """Everything one simulated capture window produced, in columns.
+
+    ``capture`` timestamps are reception-complete times (what the event
+    engine's :class:`~repro.can.bus.BusRecord` records); ``queued_at``
+    and ``started_at`` carry the release and arbitration-win instants,
+    ``sources`` the emitting node per surviving frame, ``wire_bits``
+    the exact occupancy used for bus-load accounting, and
+    ``schedule_indices`` each survivor's row in the merged schedule.
+    """
+
+    capture: "CaptureArray"
+    sources: np.ndarray
+    queued_at: np.ndarray
+    started_at: np.ndarray
+    wire_bits: np.ndarray
+    schedule_indices: np.ndarray
+    bitrate: float
+    duration: float
+
+    def __len__(self) -> int:
+        return len(self.capture)
+
+    def bus_load(self) -> float:
+        """Fraction of wire time occupied by the surviving frames."""
+        return min(float(self.wire_bits.sum()) / (self.bitrate * self.duration), 1.0)
+
+    @property
+    def queueing_delays(self) -> np.ndarray:
+        """Per-frame arbitration wait (started - queued)."""
+        return self.started_at - self.queued_at
+
+    def to_bus_records(self) -> "list[BusRecord]":
+        """Materialise event-engine records (A/B comparisons, debugging)."""
+        from repro.can.bus import BusRecord
+        from repro.can.frame import CANFrame
+
+        capture = self.capture
+        records = []
+        for k in range(len(capture)):
+            dlc = int(capture.dlcs[k])
+            records.append(
+                BusRecord(
+                    timestamp=float(capture.timestamps[k]),
+                    frame=CANFrame(int(capture.can_ids[k]), capture.payloads[k, :dlc].tobytes()),
+                    label="T" if capture.labels[k] else "R",
+                    source=str(self.sources[k]),
+                    queued_at=float(self.queued_at[k]),
+                    started_at=float(self.started_at[k]),
+                )
+            )
+        return records
+
+
+def simulate_arbitration(
+    schedule: ScheduleArray, bitrate: float, duration: float
+) -> ArbitrationResult:
+    """Replay CSMA/CR priority arbitration over a merged schedule.
+
+    ``schedule`` must be release-sorted (ties in the attach/emission
+    order the event engine uses — :func:`build_schedule` guarantees
+    both).  The sweep partitions the timeline with a precomputed
+    *independence chain* (``release[k+1] >= release[k] + duration[k]``,
+    the same single IEEE comparison the event loop would make): maximal
+    uncontended runs are emitted vectorised, and only genuinely
+    contended busy periods run the heap loop — over primitive tuples,
+    with every float operation identical to ``BusSimulator.run``, so
+    winners, timestamps and horizon drops are bit-exact, not merely
+    close.
+    """
+    if duration <= 0:
+        raise CANError(f"duration must be positive, got {duration}")
+    if bitrate <= 0:
+        raise CANError(f"bitrate must be positive, got {bitrate}")
+    from repro.can.log import CaptureArray
+
+    n = len(schedule)
+    releases = schedule.release_times
+    if n == 0:
+        return ArbitrationResult(
+            capture=CaptureArray(
+                timestamps=np.zeros(0),
+                can_ids=np.zeros(0, dtype=np.int64),
+                dlcs=np.zeros(0, dtype=np.int64),
+                payloads=np.zeros((0, _PAYLOAD_SLOTS), dtype=np.uint8),
+                labels=np.zeros(0, dtype=np.int64),
+            ),
+            sources=schedule.sources,
+            queued_at=np.zeros(0),
+            started_at=np.zeros(0),
+            wire_bits=np.zeros(0, dtype=np.int64),
+            schedule_indices=np.zeros(0, dtype=np.int64),
+            bitrate=float(bitrate),
+            duration=float(duration),
+        )
+    if np.any(np.diff(releases) < 0):
+        raise CANError("simulate_arbitration needs a release-sorted schedule")
+
+    wire_bits = schedule.resolved_wire_bits()
+    durations = wire_bits / float(bitrate)
+    #: completion time if frame k transmits the instant it is released
+    solo_ends = releases + durations
+    # chain[k]: frame k+1 releases at or after frame k's solo completion
+    # — the exact comparison deciding whether the bus goes idle between
+    # them.  chain[k] true for a frame that starts fresh means it is a
+    # singleton busy period, resolvable without arbitration.
+    chain = np.empty(n, dtype=bool)
+    if n > 1:
+        chain[:-1] = releases[1:] >= solo_ends[:-1]
+    chain[-1] = True
+    contended = np.flatnonzero(~chain)
+
+    out_index = np.empty(n, dtype=np.int64)
+    out_start = np.empty(n, dtype=np.float64)
+    out_end = np.empty(n, dtype=np.float64)
+    count = 0
+
+    # Primitive views for the scalar busy-period loop (built lazily).
+    releases_list: list[float] | None = None
+    durations_list: list[float] | None = None
+    ids_list: list[int] | None = None
+    chain_list: list[bool] | None = None
+
+    i = 0
+    free = 0.0
+    while i < n:
+        if releases[i] >= free and chain[i]:
+            # Vectorised run of singleton busy periods: every frame up
+            # to the next contention point starts at its release and
+            # completes solo (start = release, end = release + duration
+            # — the identical operations the event loop performs).
+            position = np.searchsorted(contended, i)
+            j = int(contended[position]) if position < contended.size else n
+            run = j - i
+            out_index[count : count + run] = np.arange(i, j)
+            out_start[count : count + run] = releases[i:j]
+            out_end[count : count + run] = solo_ends[i:j]
+            count += run
+            free = float(solo_ends[j - 1])
+            i = j
+            continue
+        # Contended stretch: exact event-loop replay over primitives.
+        if releases_list is None:
+            releases_list = releases.tolist()
+            durations_list = durations.tolist()
+            ids_list = schedule.can_ids.tolist()
+            chain_list = chain.tolist()
+        pending: list[tuple[int, int]] = []
+        block_index: list[int] = []
+        block_start: list[float] = []
+        block_end: list[float] = []
+        while True:
+            if not pending:
+                if i >= n or (releases_list[i] >= free and chain_list[i]):
+                    break  # bus idle again and the next frame is a singleton
+                next_release = releases_list[i]
+                candidate = next_release if next_release > free else free
+            else:
+                root_release = releases_list[pending[0][1]]
+                candidate = root_release if root_release > free else free
+            # Everyone released by the idle point joins arbitration;
+            # (can_id, index) orders exactly like the event engine's
+            # (can_id, release_time, sequence) because admission is in
+            # release-sorted order.
+            while i < n and releases_list[i] <= candidate:
+                heapq.heappush(pending, (ids_list[i], i))
+                i += 1
+            _, winner = heapq.heappop(pending)
+            release = releases_list[winner]
+            start = release if release > free else free
+            end = start + durations_list[winner]
+            block_index.append(winner)
+            block_start.append(start)
+            block_end.append(end)
+            free = end
+        emitted = len(block_index)
+        out_index[count : count + emitted] = block_index
+        out_start[count : count + emitted] = block_start
+        out_end[count : count + emitted] = block_end
+        count += emitted
+
+    # Horizon drop: completions are non-decreasing in service order, so
+    # the event engine's break at the first over-horizon frame equals a
+    # prefix cut here — frames in flight at the horizon never complete.
+    kept = int(np.searchsorted(out_end[:count], duration, side="right"))
+    survivors = out_index[:kept]
+    capture = CaptureArray(
+        timestamps=out_end[:kept].copy(),
+        can_ids=schedule.can_ids[survivors],
+        dlcs=schedule.dlcs[survivors],
+        payloads=schedule.payloads[survivors],
+        labels=schedule.labels[survivors],
+    )
+    return ArbitrationResult(
+        capture=capture,
+        sources=schedule.sources[survivors],
+        queued_at=schedule.release_times[survivors],
+        started_at=out_start[:kept].copy(),
+        wire_bits=wire_bits[survivors],
+        schedule_indices=survivors.copy(),
+        bitrate=float(bitrate),
+        duration=float(duration),
+    )

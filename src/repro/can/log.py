@@ -113,11 +113,43 @@ class CaptureArray:
         )
 
     @classmethod
-    def coerce(cls, records: "Sequence[CANLogRecord] | CaptureArray") -> "CaptureArray":
-        """Pass through a CaptureArray, convert a record list."""
+    def coerce(cls, records) -> "CaptureArray":
+        """Pass through a CaptureArray, convert a record list.
+
+        Also unwraps anything carrying a ``capture`` CaptureArray
+        attribute — e.g. the columnar bus engine's
+        :class:`~repro.can.fastbus.ArbitrationResult` — so simulated
+        windows feed the ECU/gateway paths without a conversion step.
+        """
         if isinstance(records, CaptureArray):
             return records
+        inner = getattr(records, "capture", None)
+        if isinstance(inner, CaptureArray):
+            return inner
         return cls.from_records(records)
+
+    @classmethod
+    def from_bus_records(cls, bus_records: Iterable[BusRecord]) -> "CaptureArray":
+        """Columnar capture straight from simulator output.
+
+        One pass over the :class:`~repro.can.bus.BusRecord` list — no
+        intermediate :class:`CANLogRecord` allocation per frame, unlike
+        ``from_records(records_from_bus(...))``; field-identical to
+        that composition.
+        """
+        records = bus_records if isinstance(bus_records, list) else list(bus_records)
+        n = len(records)
+        timestamps = np.fromiter((r.timestamp for r in records), dtype=np.float64, count=n)
+        can_ids = np.fromiter((r.frame.can_id for r in records), dtype=np.int64, count=n)
+        dlcs = np.fromiter((r.frame.dlc for r in records), dtype=np.int64, count=n)
+        padded = b"".join(
+            r.frame.data + bytes(MAX_PAYLOAD_BYTES - r.frame.dlc) for r in records
+        )
+        payloads = np.frombuffer(padded, dtype=np.uint8).reshape(n, MAX_PAYLOAD_BYTES).copy()
+        labels = np.fromiter(
+            (1 if r.label == LABEL_ATTACK else 0 for r in records), dtype=np.int64, count=n
+        )
+        return cls(timestamps, can_ids, dlcs, payloads, labels)
 
     @classmethod
     def from_records(cls, records: Sequence[CANLogRecord]) -> "CaptureArray":

@@ -31,7 +31,6 @@ from repro.can.bus import BITRATE_HS_CAN, BusSimulator
 from repro.can.log import (
     CANLogRecord,
     read_car_hacking_csv,
-    records_from_bus,
     write_car_hacking_csv,
 )
 from repro.can.node import (
@@ -239,7 +238,10 @@ def generate_capture(
         bus.attach(SpoofingAttacker(windows, target_id=0x43F, seed=seeds.seed("attacker")))
     elif attack == "rpm":
         bus.attach(SpoofingAttacker(windows, target_id=0x316, seed=seeds.seed("attacker")))
-    records = records_from_bus(bus.run(duration))
+    # The columnar engine is bit-exact against BusSimulator.run (see
+    # repro.can.fastbus), so the recorded capture is identical — only
+    # the per-frame simulation cost is gone.
+    records = bus.capture(duration).capture.to_records()
     return CarHackingCapture(
         records=records,
         attack=attack,
@@ -293,7 +295,7 @@ def generate_mixed_capture(
             bus.attach(SpoofingAttacker(windows, target_id=0x43F, seed=attacker_seed))
         elif attack == "rpm":
             bus.attach(SpoofingAttacker(windows, target_id=0x316, seed=attacker_seed))
-    records = records_from_bus(bus.run(duration))
+    records = bus.capture(duration).capture.to_records()
     return CarHackingCapture(
         records=records,
         attack="+".join(attacks),

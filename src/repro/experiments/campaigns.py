@@ -14,17 +14,31 @@ deployment:
 * per-frame detection quality (F1 over serviced frames) and p99
   end-to-end latency including queueing.
 
-The detector deployed on every channel is the paper's DoS QMLP, so the
-table doubles as an honest *coverage map*: scenarios built from
-mechanics the detector never trained on (fuzzy, spoofing, masquerade,
-suspension) show exactly what a single-attack detector misses — the
-motivation for the multi-model deployment of E10.
+**Detector choice.**  By default (``detector="auto"``) every channel of
+a scenario's gateway carries the trained QMLP matching the scenario's
+attack mechanics (:func:`scenario_detector`): DoS-family floods get the
+DoS detector, fuzzing gets the Fuzzy detector, RPM/gear spoofing and
+masquerade get the corresponding spoofing detector.  Mechanics without
+a trained counterpart (replay, suspension — their evidence is staleness
+or absence, not per-frame signatures) fall back to the DoS detector, so
+their rows read as the honest coverage gap they are.  Pass a concrete
+``detector`` name to reproduce the old single-detector coverage map.
+
+**Execution.**  Scenarios are independent, so the sweep fans them out
+over a pool: ``backend="thread"`` (default) shares one compiled engine
+and relies on numpy's GIL-released kernels; ``backend="process"``
+ships the (picklable) compiled IPs to worker processes once, via the
+pool initializer, and scales past the GIL on multi-core hosts.  Both
+backends derive every seed from the scenario's registry index, so
+results are order-stable and identical to the serial loop.  Bus windows
+run on the columnar arbitration kernel by default (``engine=``, see
+:mod:`repro.can.fastbus`).
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Sequence
 
@@ -35,7 +49,7 @@ from repro.errors import ConfigError
 from repro.experiments.context import ExperimentContext
 from repro.finn.compiled import engine_for
 from repro.soc.arbiter import SharedAcceleratorArbiter
-from repro.soc.gateway import GatewayReport, gateway_from_buses
+from repro.soc.gateway import ENGINES, GatewayReport, gateway_from_buses
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 
@@ -45,10 +59,35 @@ __all__ = [
     "default_sweep_workers",
     "run_campaign_sweep",
     "render_campaign_sweep",
+    "scenario_detector",
 ]
 
 #: Gateway deployments each scenario is swept through.
 SWEEP_MODES = ("per-ip", "shared-ip")
+
+#: Supported scenario fan-out backends.
+SWEEP_BACKENDS = ("thread", "process")
+
+
+def scenario_detector(campaign: Campaign) -> str:
+    """The trained detector matching a campaign's attack mechanics.
+
+    Walks the phases in order and returns the first kind with a trained
+    counterpart in the experiment context: DoS-family floods map to
+    ``"dos"``, fuzzing to ``"fuzzy"``, spoof/masquerade to the gauge
+    they forge (``"gear"`` for 0x43F, ``"rpm"`` otherwise).  Replay and
+    suspension have no per-frame-signature detector — campaigns made
+    only of those fall back to ``"dos"`` and honestly read as coverage
+    gaps in the sweep table.
+    """
+    for phase in campaign.phases:
+        if phase.kind in ("dos", "burst-dos", "ramp-dos"):
+            return "dos"
+        if phase.kind == "fuzzy":
+            return "fuzzy"
+        if phase.kind in ("spoof", "masquerade"):
+            return "gear" if phase.params.get("target_id") == 0x43F else "rpm"
+    return "dos"
 
 
 @dataclass(frozen=True)
@@ -60,6 +99,7 @@ class ScenarioRun:
     mode: str  #: "per-ip" (one accelerator per channel) or "shared-ip"
     campaign: Campaign
     report: GatewayReport
+    detector: str = "dos"  #: attack type the deployed detector was trained for
 
     @property
     def phases_total(self) -> int:
@@ -121,7 +161,7 @@ class CampaignSweepResult:
 
     runs: list[ScenarioRun]
     duration: float
-    detector: str  #: attack type the deployed detector was trained for
+    detector: str  #: detector policy ("auto" = matched per scenario)
 
     def scenario_names(self) -> list[str]:
         names: list[str] = []
@@ -136,6 +176,10 @@ class CampaignSweepResult:
                 return candidate
         raise ConfigError(f"no sweep run for scenario {scenario!r} in mode {mode!r}")
 
+    def detectors(self) -> dict[str, str]:
+        """``{scenario: detector}`` actually deployed per scenario."""
+        return {run.scenario: run.detector for run in self.runs}
+
 
 class _CachedBus:
     """Replay one simulated traffic window to several gateway runs.
@@ -144,17 +188,109 @@ class _CachedBus:
     traffic by construction — only the drain rates differ — so the
     expensive arbitration-accurate simulation runs once per scenario
     and this wrapper hands the recorded window to each monitor call.
+    Both engines are cached: ``capture`` (columnar) and ``run``
+    (event-driven reference).
     """
 
     def __init__(self, bus):
         self._bus = bus
         self.bitrate = bus.bitrate
         self._runs: dict[float, list] = {}
+        self._captures: dict[float, object] = {}
 
     def run(self, duration: float) -> list:
         if duration not in self._runs:
             self._runs[duration] = self._bus.run(duration)
         return self._runs[duration]
+
+    def capture(self, duration: float):
+        if duration not in self._captures:
+            self._captures[duration] = self._bus.capture(duration)
+        return self._captures[duration]
+
+
+@dataclass(frozen=True)
+class _SweepConfig:
+    """Scenario-independent sweep parameters (picklable, sent once)."""
+
+    seed: int
+    fifo_capacity: int
+    chunk_size: int
+    engine: str
+
+
+@dataclass(frozen=True)
+class _SweepTask:
+    """One scenario's work order (picklable)."""
+
+    index: int  #: position in the requested scenario list (seeds derive from it)
+    name: str
+    description: str
+    campaign: Campaign
+    detector: str
+
+
+def _sweep_one_scenario(ip, task: _SweepTask, config: _SweepConfig) -> list[ScenarioRun]:
+    """Run one scenario through both gateway deployments.
+
+    Shared by the serial loop and both pool backends, so every backend
+    produces identical, order-stable results: seeds derive from the
+    scenario's index, never from execution order.
+    """
+    campaign = task.campaign
+    truth = campaign.truth_windows()
+    buses = {
+        channel: _CachedBus(bus)
+        for channel, bus in compile_campaign(
+            campaign, vehicle_seed=config.seed + task.index
+        ).items()
+    }
+    scenario_runs: list[ScenarioRun] = []
+    for mode in SWEEP_MODES:
+        gateway = gateway_from_buses(
+            ip,
+            buses,
+            ecu_seed=config.seed + task.index,
+            fifo_capacity=config.fifo_capacity,
+            name=f"sweep-{task.name}-{mode}",
+        )
+        report = gateway.monitor(
+            duration=campaign.duration,
+            chunk_size=config.chunk_size,
+            truth=truth,
+            arbiter=SharedAcceleratorArbiter() if mode == "shared-ip" else None,
+            engine=config.engine,
+        )
+        scenario_runs.append(
+            ScenarioRun(
+                scenario=task.name,
+                description=task.description,
+                mode=mode,
+                campaign=campaign,
+                report=report,
+                detector=task.detector,
+            )
+        )
+    return scenario_runs
+
+
+#: Per-process worker state: installed once by the pool initializer so
+#: every task in that process reuses the unpickled IPs and their
+#: compiled engines instead of re-shipping them per task.
+_WORKER_STATE: dict = {}
+
+
+def _process_worker_init(ips: dict, config: _SweepConfig) -> None:
+    for ip in ips.values():
+        engine_for(ip)  # compile once per process, before any task runs
+    _WORKER_STATE["ips"] = ips
+    _WORKER_STATE["config"] = config
+
+
+def _process_worker_run(task: _SweepTask) -> list[ScenarioRun]:
+    return _sweep_one_scenario(
+        _WORKER_STATE["ips"][task.detector], task, _WORKER_STATE["config"]
+    )
 
 
 def default_sweep_workers(num_scenarios: int) -> int:
@@ -167,91 +303,103 @@ def run_campaign_sweep(
     scenarios: Sequence[str] | None = None,
     registry: ScenarioRegistry = SCENARIOS,
     duration: float | None = None,
-    detector: str = "dos",
+    detector: str = "auto",
     fifo_capacity: int = 64,
     chunk_size: int = 4096,
     max_workers: int | None = None,
+    backend: str = "thread",
+    engine: str = "columnar",
 ) -> CampaignSweepResult:
     """Drive every registered scenario through both gateway deployments.
 
     ``scenarios`` restricts the sweep (default: the full registry);
     ``duration`` rescales every campaign (default: each scenario's own).
-    Every channel of every gateway carries the ``detector`` QMLP from
-    the shared experiment context behind the deployed bit encoding.
+    ``detector`` is ``"auto"`` (each scenario gets its matching trained
+    QMLP — see :func:`scenario_detector`) or a concrete attack name
+    deployed on every channel of every scenario.
 
     Scenarios are independent — each builds its own buses, gateways and
     ECUs from scenario-indexed seeds — so the sweep fans them out over
-    a thread pool (``max_workers``; default
-    :func:`default_sweep_workers`, 1 forces the serial loop).  The
-    heavy kernels (bus simulation arrays, batch encoding, the compiled
-    inference engine) release the GIL in numpy, every worker shares the
-    one engine compiled for ``ip`` (thread-local scratch), and seeds
-    are derived from the scenario index, not the execution order — so
-    results are deterministic and identical to the serial sweep, in
-    registry order.
+    ``max_workers`` workers (default :func:`default_sweep_workers`; 1
+    forces the serial loop).  ``backend="thread"`` shares the compiled
+    engine within one process (numpy kernels release the GIL);
+    ``backend="process"`` ships the picklable IPs to worker processes
+    via the pool initializer and scales past the GIL.  Results are
+    deterministic, identical across backends and worker counts, and
+    ordered by the requested scenario list.  ``engine`` picks the bus
+    simulation path per channel window (columnar kernel by default,
+    ``"event"`` for the reference loop).
     """
     if max_workers is not None and max_workers < 1:
         raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
-    ip = context.ip(detector)
-    engine_for(ip)  # compile the shared engine once, before the fleet forks
-    seed = derive_seed(context.settings.seed, "campaign-sweep")
+    if backend not in SWEEP_BACKENDS:
+        raise ConfigError(f"unknown backend {backend!r}; choose from {SWEEP_BACKENDS}")
+    if engine not in ENGINES:
+        raise ConfigError(f"unknown engine {engine!r}; choose from {ENGINES}")
     names = list(scenarios) if scenarios is not None else registry.names()
     descriptions = registry.describe()
+    config = _SweepConfig(
+        seed=derive_seed(context.settings.seed, "campaign-sweep"),
+        fifo_capacity=fifo_capacity,
+        chunk_size=chunk_size,
+        engine=engine,
+    )
 
-    def sweep_scenario(indexed: tuple[int, str]) -> tuple[float, list[ScenarioRun]]:
-        index, name = indexed
+    tasks: list[_SweepTask] = []
+    for index, name in enumerate(names):
         campaign = registry.build(name, duration=duration)
-        truth = campaign.truth_windows()
-        buses = {
-            channel: _CachedBus(bus)
-            for channel, bus in compile_campaign(
-                campaign, vehicle_seed=seed + index
-            ).items()
-        }
-        scenario_runs: list[ScenarioRun] = []
-        for mode in SWEEP_MODES:
-            gateway = gateway_from_buses(
-                ip,
-                buses,
-                ecu_seed=seed + index,
-                fifo_capacity=fifo_capacity,
-                name=f"sweep-{name}-{mode}",
+        tasks.append(
+            _SweepTask(
+                index=index,
+                name=name,
+                description=descriptions.get(name, ""),
+                campaign=campaign,
+                detector=scenario_detector(campaign) if detector == "auto" else detector,
             )
-            report = gateway.monitor(
-                duration=campaign.duration,
-                chunk_size=chunk_size,
-                truth=truth,
-                arbiter=SharedAcceleratorArbiter() if mode == "shared-ip" else None,
-            )
-            scenario_runs.append(
-                ScenarioRun(
-                    scenario=name,
-                    description=descriptions.get(name, ""),
-                    mode=mode,
-                    campaign=campaign,
-                    report=report,
-                )
-            )
-        return campaign.duration, scenario_runs
+        )
+    # Train/compile each needed detector once, before the fleet forks.
+    ips = {needed: context.ip(needed) for needed in sorted({t.detector for t in tasks})}
+    for ip in ips.values():
+        engine_for(ip)
 
     workers = max_workers if max_workers is not None else default_sweep_workers(len(names))
-    if workers > 1 and len(names) > 1:
-        with ThreadPoolExecutor(max_workers=workers, thread_name_prefix="campaign-sweep") as pool:
-            outcomes = list(pool.map(sweep_scenario, enumerate(names)))
+    if workers > 1 and len(tasks) > 1 and backend == "process":
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_process_worker_init,
+            initargs=(ips, config),
+        ) as pool:
+            outcomes = list(pool.map(_process_worker_run, tasks))
+    elif workers > 1 and len(tasks) > 1:
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="campaign-sweep"
+        ) as pool:
+            outcomes = list(
+                pool.map(
+                    lambda task: _sweep_one_scenario(ips[task.detector], task, config),
+                    tasks,
+                )
+            )
     else:
-        outcomes = [sweep_scenario(indexed) for indexed in enumerate(names)]
+        outcomes = [_sweep_one_scenario(ips[task.detector], task, config) for task in tasks]
 
-    runs = [run for _, scenario_runs in outcomes for run in scenario_runs]
-    total_duration = sum(scenario_duration for scenario_duration, _ in outcomes)
+    runs = [run for scenario_runs in outcomes for run in scenario_runs]
+    total_duration = sum(task.campaign.duration for task in tasks)
     return CampaignSweepResult(runs=runs, duration=total_duration, detector=detector)
 
 
 def render_campaign_sweep(result: CampaignSweepResult) -> Table:
     """The detection/latency/drop table over every scenario and mode."""
+    policy = (
+        "scenario-matched detectors"
+        if result.detector == "auto"
+        else f"{result.detector}-trained detector on every channel"
+    )
     table = Table(
         [
             "Scenario",
             "Mode",
+            "Det.",
             "Ch",
             "Frames",
             "Drop %",
@@ -261,8 +409,8 @@ def render_campaign_sweep(result: CampaignSweepResult) -> Table:
             "p99 lat.",
         ],
         title=(
-            f"E11 — attack-campaign sweep ({result.detector}-trained detector on "
-            f"every channel; per-channel IPs vs one shared IP)"
+            f"E11 — attack-campaign sweep ({policy}; "
+            f"per-channel IPs vs one shared IP)"
         ),
     )
     for scenario in result.scenario_names():
@@ -275,6 +423,7 @@ def render_campaign_sweep(result: CampaignSweepResult) -> Table:
                 [
                     scenario if mode == SWEEP_MODES[0] else "",
                     mode,
+                    run.detector if mode == SWEEP_MODES[0] else "",
                     len(report.channels),
                     report.total_frames,
                     f"{100.0 * report.drop_rate:.2f}",

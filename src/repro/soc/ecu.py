@@ -39,11 +39,14 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import TYPE_CHECKING, Sequence
 
 import numpy as np
 
 from repro.can.log import CANLogRecord, CaptureArray
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.can.fastbus import ArbitrationResult
 from repro.datasets.features import FeatureEncoder
 from repro.errors import SoCError
 from repro.finn.ipgen import AcceleratorIP
@@ -354,10 +357,17 @@ class IDSEnabledECU:
     # -- capture-scale entry points ---------------------------------------
     def process_capture(
         self,
-        records: Sequence[CANLogRecord] | CaptureArray,
+        records: "Sequence[CANLogRecord] | CaptureArray | ArbitrationResult",
         with_metrics: bool = True,
     ) -> ECUReport:
         """Run a whole capture through the IDS path (offline batch).
+
+        ``records`` may be a :class:`CANLogRecord` list, a columnar
+        :class:`CaptureArray`, or the columnar bus engine's
+        :class:`~repro.can.fastbus.ArbitrationResult` (its capture is
+        unwrapped), so ``ecu.process_capture(bus.capture(2.0))`` works
+        without a conversion step — the same coercion applies to
+        :meth:`open_stream` and :meth:`process_stream`.
 
         Functional classification is batched through the bit-exact graph
         (the driver protocol is data independent, so one measured AXI
@@ -383,7 +393,7 @@ class IDSEnabledECU:
 
     def open_stream(
         self,
-        records: Sequence[CANLogRecord] | CaptureArray,
+        records: "Sequence[CANLogRecord] | CaptureArray | ArbitrationResult",
         chunk_size: int = 4096,
         drain_fps: float | None = None,
         with_metrics: bool = True,
@@ -408,7 +418,7 @@ class IDSEnabledECU:
 
     def process_stream(
         self,
-        records: Sequence[CANLogRecord] | CaptureArray,
+        records: "Sequence[CANLogRecord] | CaptureArray | ArbitrationResult",
         chunk_size: int = 4096,
         drain_fps: float | None = None,
         with_metrics: bool = True,

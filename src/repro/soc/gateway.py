@@ -48,13 +48,14 @@ import numpy as np
 
 from repro.can.attacks import DoSAttacker
 from repro.can.bus import BusSimulator, bus_load
-from repro.can.log import CaptureArray, records_from_bus
+from repro.can.log import CaptureArray
 from repro.errors import SoCError
 from repro.soc.arbiter import ArbitrationGrant, SharedAcceleratorArbiter
 from repro.soc.ecu import ECUReport, ECUStreamSession, IDSEnabledECU
 
 __all__ = [
     "ChannelResult",
+    "ENGINES",
     "GatewayReport",
     "IDSGateway",
     "PhaseOutcome",
@@ -66,6 +67,13 @@ __all__ = [
 
 #: Supported channel-advance orders for :meth:`IDSGateway.monitor`.
 SCHEDULES = ("interleaved", "sequential")
+
+#: Supported bus-simulation engines for :meth:`IDSGateway.monitor`.
+#: ``"columnar"`` runs each channel's window through the vectorised
+#: arbitration-replay kernel (:mod:`repro.can.fastbus`), which is
+#: bit-exact against the event engine; ``"event"`` keeps the reference
+#: per-frame simulator for A/B verification.
+ENGINES = ("columnar", "event")
 
 
 @dataclass(frozen=True)
@@ -168,6 +176,7 @@ class GatewayReport:
     channels: list[ChannelResult] = field(default_factory=list)
     schedule: str = "interleaved"  #: channel-advance order used
     arbitration_policy: str | None = None  #: shared-IP policy, if any
+    engine: str = "columnar"  #: bus-simulation engine the run used
 
     @property
     def total_frames(self) -> int:
@@ -390,6 +399,7 @@ class IDSGateway:
         schedule: str = "interleaved",
         arbiter: SharedAcceleratorArbiter | None = None,
         truth: Mapping[str, Sequence[tuple]] | None = None,
+        engine: str = "columnar",
     ) -> GatewayReport:
         """Run every segment for ``duration`` seconds and scan its traffic.
 
@@ -418,6 +428,13 @@ class IDSGateway:
         triples attributed by window containment.  Either turns on
         campaign-aware labelling: each channel's verdicts are reported
         as :class:`PhaseOutcome` rows on the channel result.
+
+        ``engine`` picks the bus simulation path: ``"columnar"``
+        (default) runs each channel's window through the vectorised
+        arbitration-replay kernel — bit-exact against the event engine,
+        without per-frame record objects — while ``"event"`` keeps the
+        reference :meth:`~repro.can.bus.BusSimulator.run` loop (buses
+        lacking a ``capture`` method fall back to it automatically).
         """
         if not self._channels:
             raise SoCError("gateway has no channels attached")
@@ -425,6 +442,8 @@ class IDSGateway:
             raise SoCError(f"duration must be positive, got {duration}")
         if schedule not in SCHEDULES:
             raise SoCError(f"unknown schedule {schedule!r}; choose from {SCHEDULES}")
+        if engine not in ENGINES:
+            raise SoCError(f"unknown engine {engine!r}; choose from {ENGINES}")
         if truth is not None:
             for channel in truth:
                 if channel not in self._channels:
@@ -438,13 +457,23 @@ class IDSGateway:
         # the per-record extraction — it is pure dead weight there.
         traffic: dict[str, tuple[float, CaptureArray, np.ndarray | None]] = {}
         for name, (bus, ecu) in self._channels.items():
+            want_sources = truth is not None and bool(truth.get(name))
+            columnar = getattr(bus, "capture", None) if engine == "columnar" else None
+            if columnar is not None:
+                window = columnar(duration)
+                traffic[name] = (
+                    window.bus_load(),
+                    window.capture,
+                    window.sources if want_sources else None,
+                )
+                continue
             bus_records = bus.run(duration)
             sources = None
-            if truth is not None and truth.get(name):
+            if want_sources:
                 sources = np.array([record.source for record in bus_records], dtype=str)
             traffic[name] = (
                 bus_load(bus_records, duration, bus.bitrate),
-                CaptureArray.from_records(records_from_bus(bus_records)),
+                CaptureArray.from_bus_records(bus_records),
                 sources,
             )
         active = [name for name, (_, capture, _) in traffic.items() if len(capture)]
@@ -522,6 +551,7 @@ class IDSGateway:
             channels=results,
             schedule=schedule,
             arbitration_policy=arbiter.policy if arbiter is not None else None,
+            engine=engine,
         )
 
 
