@@ -20,6 +20,7 @@ from _bench_lane import OUTPUT_DIR, SMOKE
 
 from repro.can.log import CANLogRecord, CaptureArray
 from repro.datasets.features import BitFeatureEncoder, ByteFeatureEncoder, WindowFeatureEncoder
+from repro.utils.rng import new_rng
 
 #: Frames in the benchmarked capture (vectorisation speedups need scale
 #: to show; the smoke lane trades fidelity for runtime).
@@ -38,7 +39,7 @@ MIN_SPEEDUP_OTHERS = 2.0 if SMOKE else 4.0
 
 def _synthetic_records(count: int, seed: int = 0) -> list[CANLogRecord]:
     """A capture-shaped record list without running the bus simulator."""
-    rng = np.random.default_rng(seed)
+    rng = new_rng(seed, "bench-encoder-records")
     timestamps = np.cumsum(rng.uniform(1e-4, 5e-4, size=count))
     can_ids = rng.integers(0, 0x7FF + 1, size=count)
     dlcs = rng.integers(0, 9, size=count)

@@ -32,6 +32,7 @@ from repro.experiments.context import ExperimentContext, ExperimentSettings
 from repro.finn.compiled import engine_cache_info, engine_for
 from repro.soc.accelerator import MemoryMappedAccelerator
 from repro.soc.ecu import IDSEnabledECU
+from repro.utils.rng import new_rng
 
 #: Feature rows pushed through both batch paths.
 NUM_FRAMES = 8_192 if SMOKE else 98_304
@@ -90,7 +91,7 @@ def _best_of(fn, repeats):
 
 
 def test_bench_compiled_engine_speedup(bench_ip):
-    rng = np.random.default_rng(42)
+    rng = new_rng(42, "bench-compiled-engine")
     features = rng.random((NUM_FRAMES, bench_ip.export.input_features))
     accel = MemoryMappedAccelerator(bench_ip)
     engine = engine_for(bench_ip)

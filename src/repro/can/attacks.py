@@ -209,7 +209,7 @@ class BurstDoSAttacker(DoSAttacker):
             burst_end = min(cursor + self.burst_on, horizon)
             pulses.append(fastbus.release_grid(cursor, burst_end, self.interval))
             cursor = cursor + self.burst_on + self.burst_off
-        releases = np.concatenate(pulses) if pulses else np.zeros(0)
+        releases = np.concatenate(pulses) if pulses else np.zeros(0, dtype=np.float64)
         return self._schedule_for(releases)
 
 
@@ -400,7 +400,7 @@ class ReplayAttacker(_WindowedSource):
             dlcs=self._dlcs[:cut],
             payloads=self._payloads[:cut],
             labels=np.ones(cut, dtype=np.int64),
-            sources=np.full(cut, self.name),
+            sources=np.full(cut, self.name),  # reprolint: disable=dtype-discipline -- unicode width inferred from the attacker name
             wire_bits=self._wire_bits[:cut],
         )
 

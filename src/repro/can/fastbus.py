@@ -100,6 +100,7 @@ class ScheduleArray:
 
     def __post_init__(self) -> None:
         n = self.release_times.shape[0]
+        # reprolint: disable=hot-path-purity -- iterates field names for shape validation, not frames
         for name in ("can_ids", "dlcs", "labels", "sources", "wire_bits"):
             if getattr(self, name).shape != (n,):
                 raise CANError(f"ScheduleArray field {name} must have shape ({n},)")
@@ -234,7 +235,7 @@ def schedule_columns(
         else np.asarray(dlcs, dtype=np.int64),
         payloads=payloads,
         labels=np.full(n, int(label), dtype=np.int64),
-        sources=np.full(n, source),
+        sources=np.full(n, source),  # reprolint: disable=dtype-discipline -- unicode width inferred from the source name
         wire_bits=np.full(n, WIRE_BITS_UNSET, dtype=np.int64)
         if wire_bits is None
         else np.asarray(wire_bits, dtype=np.int64),
@@ -336,6 +337,7 @@ def _wire_bits_for_rows(rows: np.ndarray) -> np.ndarray:
     """Exact wire bits for unique packed rows ``[id_hi, id_lo, dlc, 8 bytes]``."""
     out = np.zeros(rows.shape[0], dtype=np.int64)
     dlcs = rows[:, 2].astype(np.int64)
+    # reprolint: disable=hot-path-purity -- loops over the <=9 distinct DLC widths, not frames
     for dlc in np.unique(dlcs):
         group = np.flatnonzero(dlcs == dlc)
         sub = rows[group]
@@ -344,9 +346,13 @@ def _wire_bits_for_rows(rows: np.ndarray) -> np.ndarray:
         body_len = _HEADER_BITS + 8 * width
         bits = np.zeros((m, body_len + _CRC_BITS), dtype=np.uint8)
         ids = (sub[:, 0].astype(np.int64) << 8) | sub[:, 1].astype(np.int64)
-        bits[:, 1:12] = ((ids[:, None] >> np.arange(10, -1, -1)) & 1).astype(np.uint8)
+        bits[:, 1:12] = (
+            (ids[:, None] >> np.arange(10, -1, -1, dtype=np.int64)) & 1
+        ).astype(np.uint8)
         # RTR/IDE/r0 are dominant zeros for standard data frames.
-        bits[:, 15:19] = ((width >> np.arange(3, -1, -1)) & 1).astype(np.uint8)
+        bits[:, 15:19] = (
+            (width >> np.arange(3, -1, -1, dtype=np.int64)) & 1
+        ).astype(np.uint8)
         if width:
             bits[:, _HEADER_BITS:body_len] = np.unpackbits(
                 sub[:, 3 : 3 + width], axis=1
@@ -354,16 +360,20 @@ def _wire_bits_for_rows(rows: np.ndarray) -> np.ndarray:
         # CRC-15 over the body, one numpy pass per bit position —
         # identical recurrence to :func:`repro.can.frame.crc15`.
         crc = np.zeros(m, dtype=np.int64)
+        # reprolint: disable=hot-path-purity -- per-bit-column CRC recurrence, O(wire bits) not O(frames)
         for column in range(body_len):
             feedback = ((crc >> 14) & 1) ^ bits[:, column]
             crc = ((crc << 1) & 0x7FFF) ^ (feedback * _CRC15_POLY)
-        bits[:, body_len:] = ((crc[:, None] >> np.arange(14, -1, -1)) & 1).astype(np.uint8)
+        bits[:, body_len:] = (
+            (crc[:, None] >> np.arange(14, -1, -1, dtype=np.int64)) & 1
+        ).astype(np.uint8)
         # Bit stuffing over SOF..CRC: run-state per row, one pass per
         # column — identical semantics to :func:`stuff_bits` (a stuff
         # bit resets the run and counts toward the next one).
         run_value = np.full(m, -1, dtype=np.int16)
         run_length = np.zeros(m, dtype=np.int64)
         stuffed = np.zeros(m, dtype=np.int64)
+        # reprolint: disable=hot-path-purity -- per-bit-column stuffing scan, O(wire bits) not O(frames)
         for column in range(body_len + _CRC_BITS):
             bit = bits[:, column].astype(np.int16)
             run_length = np.where(bit == run_value, run_length + 1, 1)
@@ -401,7 +411,7 @@ def standard_wire_bits(
     rows[:, 2] = dlcs
     rows[:, 3:] = payloads
     # Zero bytes beyond the DLC so padding never perturbs uniqueness.
-    rows[:, 3:][np.arange(_PAYLOAD_SLOTS) >= dlcs[:, None]] = 0
+    rows[:, 3:][np.arange(_PAYLOAD_SLOTS, dtype=np.int64) >= dlcs[:, None]] = 0
     # Dedup via a fixed-width bytes view: unique on |S11 sorts with
     # memcmp, an order of magnitude faster than axis-0 unique's
     # void-compare path on flood-scale schedules.
@@ -499,15 +509,15 @@ def simulate_arbitration(
     if n == 0:
         return ArbitrationResult(
             capture=CaptureArray(
-                timestamps=np.zeros(0),
+                timestamps=np.zeros(0, dtype=np.float64),
                 can_ids=np.zeros(0, dtype=np.int64),
                 dlcs=np.zeros(0, dtype=np.int64),
                 payloads=np.zeros((0, _PAYLOAD_SLOTS), dtype=np.uint8),
                 labels=np.zeros(0, dtype=np.int64),
             ),
             sources=schedule.sources,
-            queued_at=np.zeros(0),
-            started_at=np.zeros(0),
+            queued_at=np.zeros(0, dtype=np.float64),
+            started_at=np.zeros(0, dtype=np.float64),
             wire_bits=np.zeros(0, dtype=np.int64),
             schedule_indices=np.zeros(0, dtype=np.int64),
             bitrate=float(bitrate),
@@ -552,7 +562,7 @@ def simulate_arbitration(
             position = np.searchsorted(contended, i)
             j = int(contended[position]) if position < contended.size else n
             run = j - i
-            out_index[count : count + run] = np.arange(i, j)
+            out_index[count : count + run] = np.arange(i, j, dtype=np.int64)
             out_start[count : count + run] = releases[i:j]
             out_end[count : count + run] = solo_ends[i:j]
             count += run
@@ -565,6 +575,9 @@ def simulate_arbitration(
             durations_list = durations.tolist()
             ids_list = schedule.can_ids.tolist()
             chain_list = chain.tolist()
+        assert durations_list is not None
+        assert ids_list is not None
+        assert chain_list is not None
         pending: list[tuple[int, int]] = []
         block_index: list[int] = []
         block_start: list[float] = []

@@ -16,7 +16,10 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence, cast
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.can.fastbus import ArbitrationResult
 
 import numpy as np
 
@@ -83,6 +86,7 @@ class CaptureArray:
 
     def __post_init__(self) -> None:
         n = self.timestamps.shape[0]
+        # reprolint: disable=hot-path-purity -- iterates field names for shape validation, not frames
         for name in ("can_ids", "dlcs", "labels"):
             if getattr(self, name).shape != (n,):
                 raise DatasetError(f"CaptureArray field {name} must have shape ({n},)")
@@ -97,7 +101,9 @@ class CaptureArray:
     def __len__(self) -> int:
         return int(self.timestamps.shape[0])
 
-    def __getitem__(self, index) -> "CaptureArray":
+    def __getitem__(
+        self, index: int | np.integer | slice | np.ndarray
+    ) -> "CaptureArray":
         """Slice / boolean-mask / fancy-index into a new CaptureArray."""
         if isinstance(index, (int, np.integer)):
             position = int(index) + len(self) if index < 0 else int(index)
@@ -113,7 +119,9 @@ class CaptureArray:
         )
 
     @classmethod
-    def coerce(cls, records) -> "CaptureArray":
+    def coerce(
+        cls, records: "CaptureArray | ArbitrationResult | Sequence[CANLogRecord]"
+    ) -> "CaptureArray":
         """Pass through a CaptureArray, convert a record list.
 
         Also unwraps anything carrying a ``capture`` CaptureArray
@@ -126,7 +134,7 @@ class CaptureArray:
         inner = getattr(records, "capture", None)
         if isinstance(inner, CaptureArray):
             return inner
-        return cls.from_records(records)
+        return cls.from_records(cast("Sequence[CANLogRecord]", records))
 
     @classmethod
     def from_bus_records(cls, bus_records: Iterable[BusRecord]) -> "CaptureArray":

@@ -236,7 +236,9 @@ class PeriodicSender:
             releases = np.maximum(nominal + offsets, 0.0)
         else:
             releases = nominal
-        payloads, dlcs = payload_batch(self.payload_model, np.arange(n), self._rng)
+        payloads, dlcs = payload_batch(
+            self.payload_model, np.arange(n, dtype=np.int64), self._rng
+        )
         return fastbus.schedule_columns(
             releases,
             can_ids=self.can_id,

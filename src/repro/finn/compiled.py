@@ -46,8 +46,13 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.finn.ipgen import AcceleratorIP
+    from repro.quant.export import ActQuantExport
 
 from repro.errors import CompileError, ShapeError, VerificationError
 from repro.finn.build import input_quant_range
@@ -114,7 +119,7 @@ class _LayerPlan:
 class _Scratch:
     """Per-thread preallocated chunk buffers for one engine."""
 
-    def __init__(self, layers: list[_LayerPlan], rows: int):
+    def __init__(self, layers: list[_LayerPlan], rows: int) -> None:
         self.rows = rows
         self.quant = np.empty((rows, layers[0].in_features), dtype=np.float64)
         self.inputs = [np.empty((rows, layer.in_features), dtype=layer.compute_dtype) for layer in layers]
@@ -165,10 +170,10 @@ class CompiledEngine:
         final_bias: np.ndarray,
         has_argmax: bool,
         input_features: int,
-        input_quant,
+        input_quant: "ActQuantExport | None",
         chunk_size: int,
         source_graph: DataflowGraph,
-    ):
+    ) -> None:
         self._layers = layers
         self._final_scale = final_scale.reshape(1, -1)
         self._final_bias = final_bias
@@ -335,6 +340,7 @@ class CompiledEngine:
         """In-place replay of :func:`quantize_features` on one chunk."""
         rows = chunk.shape[0]
         quantized = scratch.quant[:rows]
+        assert self.input_quant is not None  # guarded by the predict() entry check
         np.divide(chunk, self.input_quant.scale, out=quantized)
         quantized += 0.5
         np.floor(quantized, out=quantized)
@@ -402,7 +408,7 @@ class CompiledEngine:
 
 def compile_engine(
     graph: DataflowGraph,
-    input_quant=None,
+    input_quant: "ActQuantExport | None" = None,
     chunk_size: int = 2048,
     threshold_kernel: str = "auto",
     compute_dtype: str | None = None,
@@ -584,7 +590,7 @@ class EngineCacheInfo:
     size: int
 
 
-def engine_for(ip) -> CompiledEngine:
+def engine_for(ip: "AcceleratorIP") -> CompiledEngine:
     """The (cached) compiled engine of an :class:`~repro.finn.ipgen.AcceleratorIP`.
 
     Keyed on the IP's export, so every ECU, gateway channel and

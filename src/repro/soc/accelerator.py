@@ -52,7 +52,7 @@ def pack_words(values: np.ndarray, bits_per_value: int) -> list[int]:
     if bad.any():
         offender = int(values[bad][0])
         raise SoCError(f"value {offender} does not fit in {bits_per_value} bits")
-    bits = (values[:, None] >> np.arange(bits_per_value)) & 1
+    bits = (values[:, None] >> np.arange(bits_per_value, dtype=np.int64)) & 1
     flat = bits.reshape(-1)
     pad = (-flat.size) % 32
     if pad:
@@ -198,7 +198,7 @@ class MemoryMappedAccelerator:
         key = (id(self.ip), float(self.bus.access_latency))
         trace = _TRACE_CACHE.get(key, self.ip)
         if trace is None:
-            zeros = np.zeros(self.ip.export.input_features)
+            zeros = np.zeros(self.ip.export.input_features, dtype=np.float64)
             _, trace = self.infer(zeros)
             _TRACE_CACHE.put(key, self.ip, trace)
         return trace

@@ -83,13 +83,18 @@ def _simulate_fifo_admission_events(
     timestamps = np.asarray(timestamps, dtype=np.float64)
     n = timestamps.shape[0]
     if n == 0:
-        return np.zeros(0, dtype=bool), 0, np.zeros(0), np.zeros(0)
+        return (
+            np.zeros(0, dtype=bool),
+            0,
+            np.zeros(0, dtype=np.float64),
+            np.zeros(0, dtype=np.float64),
+        )
     if service_seconds <= 0:
         raise SoCError(f"service time must be positive, got {service_seconds}")
     if np.any(np.diff(timestamps) < 0):
         raise SoCError("stream timestamps must be non-decreasing")
 
-    index = np.arange(n)
+    index = np.arange(n, dtype=np.int64)
     # Service-start times under an unbounded queue: starts[k] = g[k] + s*k
     # with g = running max of (t[k] - s*k)  <=>  f[k] = max(t[k], f[k-1]) + s.
     g = np.maximum.accumulate(timestamps - service_seconds * index)
@@ -99,12 +104,17 @@ def _simulate_fifo_admission_events(
     waiting = index - np.searchsorted(starts, timestamps, side="left")
     peak = int(waiting.max()) + 1  # occupancy just after the push
     if peak <= capacity:
-        return np.ones(n, dtype=bool), peak, starts - timestamps, np.full(n, np.inf)
+        return (
+            np.ones(n, dtype=bool),
+            peak,
+            starts - timestamps,
+            np.full(n, np.inf, dtype=np.float64),
+        )
 
     # Overflow: exact drop-oldest replay (only under floods).
     kept = np.ones(n, dtype=bool)
     waits = np.zeros(n, dtype=np.float64)
-    evictions = np.full(n, np.inf)
+    evictions = np.full(n, np.inf, dtype=np.float64)
     queue: deque[int] = deque()
     t_free = -np.inf
     max_occupancy = 0

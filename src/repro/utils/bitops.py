@@ -67,7 +67,7 @@ def bytes_to_bits(data: Iterable[int]) -> np.ndarray:
         raise ConfigError("byte values must be in [0, 255]")
     if data.size == 0:
         return np.zeros(0, dtype=np.uint8)
-    shifts = np.arange(7, -1, -1)
+    shifts = np.arange(7, -1, -1, dtype=np.int64)
     return ((data[:, None] >> shifts) & 1).astype(np.uint8).reshape(-1)
 
 
@@ -76,7 +76,7 @@ def bits_to_bytes(bits: Sequence[int] | np.ndarray) -> bytes:
     bits = np.asarray(bits, dtype=np.uint8)
     if bits.size % 8 != 0:
         raise ConfigError(f"bit vector length {bits.size} is not a multiple of 8")
-    shifts = np.arange(7, -1, -1)
+    shifts = np.arange(7, -1, -1, dtype=np.int64)
     grouped = bits.reshape(-1, 8)
     return bytes(int(v) for v in (grouped << shifts).sum(axis=1))
 

@@ -72,7 +72,7 @@ class SeedSequence:
     >>> rng_c = child.rng("dataset")   # independent of rng_a
     """
 
-    def __init__(self, master_seed: int, scope: str = ""):
+    def __init__(self, master_seed: int, scope: str = "") -> None:
         self.master_seed = int(master_seed)
         self.scope = scope
 

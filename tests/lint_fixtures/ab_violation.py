@@ -1,0 +1,5 @@
+"""Fixture: public callable with an engine= switch no test exercises."""
+
+
+def monitor(duration, engine="columnar"):
+    return (duration, engine)

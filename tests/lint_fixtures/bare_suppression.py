@@ -1,0 +1,9 @@
+"""Fixture: suppression without a justification is itself a violation."""
+
+# reprolint: module-role=kernel
+
+import numpy as np
+
+
+def make_buffer(n):
+    return np.zeros(n)  # reprolint: disable=dtype-discipline

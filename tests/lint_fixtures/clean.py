@@ -1,0 +1,11 @@
+"""Fixture: triggers no rule under any role."""
+
+# reprolint: module-role=kernel,columnar,sim,typed-core
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def make_buffer(n: int) -> np.ndarray:
+    return np.zeros(n, dtype=np.float64)

@@ -1,0 +1,9 @@
+"""Fixture: allocator without explicit dtype in a kernel-role module."""
+
+# reprolint: module-role=kernel
+
+import numpy as np
+
+
+def make_buffer(n):
+    return np.zeros(n)

@@ -1,0 +1,10 @@
+"""Fixture: per-frame loop inside a columnar-role module."""
+
+# reprolint: module-role=columnar
+
+
+def drain(frames):
+    total = 0
+    for frame in frames:
+        total += frame.wire_bits()
+    return total

@@ -1,0 +1,8 @@
+"""Fixture: lambda submitted to a process pool."""
+
+from concurrent.futures import ProcessPoolExecutor
+
+
+def sweep(tasks):
+    with ProcessPoolExecutor(max_workers=2) as pool:
+        return list(pool.map(lambda task: task * 2, tasks))

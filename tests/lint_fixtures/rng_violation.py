@@ -1,0 +1,5 @@
+"""Fixture: module-level RNG construction outside the rng home."""
+
+import numpy as np
+
+rng = np.random.default_rng(1234)

@@ -1,0 +1,9 @@
+"""Fixture: wall-clock read inside a sim-role module."""
+
+# reprolint: module-role=sim
+
+import time
+
+
+def stamp():
+    return time.time()

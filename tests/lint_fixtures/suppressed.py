@@ -1,0 +1,9 @@
+"""Fixture: a real violation silenced by a justified suppression."""
+
+# reprolint: module-role=kernel
+
+import numpy as np
+
+
+def make_names(n):
+    return np.full(n, "bench")  # reprolint: disable=dtype-discipline -- unicode width inferred from the literal

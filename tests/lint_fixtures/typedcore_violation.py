@@ -1,0 +1,9 @@
+"""Fixture: typed-core module with incomplete annotations."""
+
+from __future__ import annotations
+
+# reprolint: module-role=typed-core
+
+
+def scale(value, factor: float) -> float:
+    return value * factor

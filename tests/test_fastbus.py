@@ -413,6 +413,37 @@ class TestProcessBackend:
                     continue
                 np.testing.assert_array_equal(a.report.predictions, b.report.predictions)
 
+    def test_sweep_engines_agree(self, experiment_context):
+        """engine="event" and engine="columnar" sweeps are bit-identical."""
+        names = ["baseline-dos"]
+        columnar = run_campaign_sweep(
+            experiment_context,
+            scenarios=names,
+            duration=0.8,
+            max_workers=1,
+            engine="columnar",
+        )
+        event = run_campaign_sweep(
+            experiment_context,
+            scenarios=names,
+            duration=0.8,
+            max_workers=1,
+            engine="event",
+        )
+        assert [(r.scenario, r.mode) for r in columnar.runs] == [
+            (r.scenario, r.mode) for r in event.runs
+        ]
+        for left, right in zip(columnar.runs, event.runs):
+            assert left.detector == right.detector
+            assert left.report.total_frames == right.report.total_frames
+            assert left.report.total_dropped == right.report.total_dropped
+            assert left.phases_detected == right.phases_detected
+            for a, b in zip(left.report.channels, right.report.channels):
+                if a.report is None:
+                    assert b.report is None
+                    continue
+                np.testing.assert_array_equal(a.report.predictions, b.report.predictions)
+
     def test_unknown_backend_rejected(self, experiment_context):
         with pytest.raises(Exception, match="unknown backend"):
             run_campaign_sweep(

@@ -1,0 +1,9 @@
+"""``python -m tools.reprolint`` dispatch."""
+
+from __future__ import annotations
+
+import sys
+
+from tools.reprolint.cli import main
+
+sys.exit(main())

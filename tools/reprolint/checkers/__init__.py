@@ -1,0 +1,11 @@
+"""Built-in checkers; importing this package registers all of them."""
+
+from tools.reprolint.checkers import (  # noqa: F401  (registration side effects)
+    ab_coverage,
+    dtype,
+    hotpath,
+    pickle_safety,
+    rng,
+    simtime,
+    typedcore,
+)

@@ -1,0 +1,58 @@
+"""Dtype discipline: kernel allocations must pass an explicit dtype.
+
+``np.zeros(n)`` defaults to float64 and ``np.arange(n)`` to the
+platform's C long — int64 on Linux, int32 on Windows.  CRC-15, bit
+stuffing and accumulator-bound math in the kernel modules rely on
+64-bit widths, so an implicit dtype is a latent cross-platform
+bit-exactness bug even when today's CI happens to pass.  The rule is
+mechanical on purpose: in ``kernel``-role modules every ``np.zeros`` /
+``np.empty`` / ``np.ones`` / ``np.full`` / ``np.arange`` call states
+its dtype, either as a keyword or positionally.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.core import Checker, FileContext, Violation, attr_chain, register
+
+#: allocator -> index of the positional slot where dtype may appear.
+_ALLOCATORS = {"zeros": 1, "empty": 1, "ones": 1, "arange": 3, "full": 2}
+
+
+@register
+class DtypeDiscipline(Checker):
+    name = "dtype-discipline"
+    description = (
+        "np.zeros/empty/ones/full/arange in kernel modules must pass an "
+        "explicit dtype= (implicit defaults are platform-dependent)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if "kernel" not in ctx.roles:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            chain = attr_chain(node.func)
+            if (
+                chain is None
+                or len(chain) != 2
+                or chain[0] not in ("np", "numpy")
+                or chain[1] not in _ALLOCATORS
+            ):
+                continue
+            if any(kw.arg == "dtype" for kw in node.keywords):
+                continue
+            if len(node.args) > _ALLOCATORS[chain[1]]:
+                continue  # dtype passed positionally
+            yield Violation(
+                path=ctx.rel,
+                line=node.lineno,
+                rule=self.name,
+                message=(
+                    f"np.{chain[1]} without explicit dtype= in a kernel module "
+                    "(default int width is platform-dependent)"
+                ),
+            )

@@ -1,0 +1,73 @@
+"""Sim-time hygiene: simulation modules never read the wall clock.
+
+Everything under ``repro/can/`` and ``repro/soc/`` advances *virtual*
+time (bus bit times, FIFO drain instants, arbitration waits).  One
+``time.time()`` in that stack makes results host-speed-dependent and
+unreproducible; wall-clock measurement belongs in ``benchmarks/`` and
+the training loop, which are outside the ``sim`` role.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.core import Checker, FileContext, Violation, attr_chain, register
+
+_TIME_FNS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+}
+_DATETIME_FNS = {"now", "utcnow", "today"}
+
+
+@register
+class SimTimeHygiene(Checker):
+    name = "sim-time-hygiene"
+    description = (
+        "simulation modules (repro/can, repro/soc) must not read wall-clock "
+        "time (time.time/monotonic/perf_counter, datetime.now); wall time "
+        "belongs in benchmarks"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if "sim" not in ctx.roles:
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and (node.module or "") == "time":
+                wall = sorted(
+                    alias.name for alias in node.names if alias.name in _TIME_FNS
+                )
+                if wall:
+                    yield self._violation(
+                        ctx,
+                        node,
+                        f"imports wall-clock reader(s) {', '.join(wall)} from time",
+                    )
+            elif isinstance(node, ast.Call):
+                chain = attr_chain(node.func)
+                if chain is None or len(chain) < 2:
+                    continue
+                if chain[0] == "time" and chain[-1] in _TIME_FNS:
+                    yield self._violation(
+                        ctx, node, f"{'.'.join(chain)}() reads the wall clock"
+                    )
+                elif chain[0] == "datetime" and chain[-1] in _DATETIME_FNS:
+                    yield self._violation(
+                        ctx, node, f"{'.'.join(chain)}() reads the wall clock"
+                    )
+
+    def _violation(self, ctx: FileContext, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            path=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            rule=self.name,
+            message=message + " inside a simulation module; simulated results "
+            "must be wall-clock independent",
+        )

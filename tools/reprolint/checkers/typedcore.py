@@ -1,0 +1,68 @@
+"""Typed-core completeness: the strict-mypy modules stay fully annotated.
+
+``mypy.ini`` turns on a strict flag set for the five invariant-bearing
+core modules, but mypy is an optional install on dev machines.  This
+rule enforces the structural half locally with zero dependencies:
+``typed-core`` modules must import ``from __future__ import
+annotations`` and every def (including ``__init__``) must annotate its
+return type and all parameters (``self``/``cls`` excepted).  CI then
+runs real mypy as the second blocking step for the semantic half.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from tools.reprolint.core import Checker, FileContext, Violation, register
+
+
+@register
+class TypedCore(Checker):
+    name = "typed-core"
+    description = (
+        "typed-core modules (the strict-mypy list in mypy.ini) need "
+        "from __future__ import annotations and complete parameter/return "
+        "annotations on every def"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        if "typed-core" not in ctx.roles:
+            return
+        has_future = any(
+            isinstance(node, ast.ImportFrom)
+            and node.module == "__future__"
+            and any(alias.name == "annotations" for alias in node.names)
+            for node in ctx.tree.body
+        )
+        if not has_future:
+            yield Violation(
+                path=ctx.rel,
+                line=1,
+                rule=self.name,
+                message="typed-core module lacks 'from __future__ import annotations'",
+            )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.returns is None:
+                yield Violation(
+                    path=ctx.rel,
+                    line=node.lineno,
+                    rule=self.name,
+                    message=f"def {node.name} is missing a return-type annotation",
+                )
+            args = [*node.args.posonlyargs, *node.args.args, *node.args.kwonlyargs]
+            for arg in args:
+                if arg.arg in ("self", "cls"):
+                    continue
+                if arg.annotation is None:
+                    yield Violation(
+                        path=ctx.rel,
+                        line=arg.lineno,
+                        rule=self.name,
+                        message=(
+                            f"def {node.name}: parameter {arg.arg!r} is missing "
+                            "a type annotation"
+                        ),
+                    )

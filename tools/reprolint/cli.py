@@ -1,0 +1,109 @@
+"""Command-line entry point: ``python -m tools.reprolint <paths>``.
+
+Exit status is 0 when clean, 1 when any violation survives
+suppression, 2 on usage errors — so the script slots directly into CI
+and ``scripts/lint.sh``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from tools.reprolint.core import registered_rules, run_lint
+from tools.reprolint.reporters import render_json, render_text
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="reprolint",
+        description=(
+            "AST-based invariant checker for the columnar IDS stack: "
+            "RNG discipline, hot-path purity, dtype discipline, pickle "
+            "safety, A/B-equivalence coverage, sim-time hygiene, "
+            "typed-core completeness."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--tests",
+        action="append",
+        default=[],
+        metavar="PATH",
+        help=(
+            "test tree(s) parsed for cross-file checks (A/B coverage) "
+            "but not linted per-file; repeatable"
+        ),
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        metavar="R1,R2",
+        help="comma-separated subset of rules to run (default: all)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format on stdout (default: text)",
+    )
+    parser.add_argument(
+        "--json-output",
+        default=None,
+        metavar="FILE",
+        help="additionally write the JSON report to FILE (CI artifact)",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repo root used to relativise paths and match role registries",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for name, cls in sorted(registered_rules().items()):
+            print(f"{name:20s} {cls.description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+    try:
+        result = run_lint(
+            paths=args.paths,
+            tests=args.tests,
+            root=args.root,
+            rules=rules,
+        )
+    except ValueError as exc:
+        print(f"reprolint: error: {exc}", file=sys.stderr)
+        return 2
+
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    if args.json_output:
+        Path(args.json_output).write_text(render_json(result) + "\n", encoding="utf-8")
+    return 0 if result.clean else 1
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

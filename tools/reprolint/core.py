@@ -1,0 +1,350 @@
+"""Checker registry, suppression parsing and the lint runner.
+
+Design notes
+------------
+* Checkers are pure AST visitors registered by name; per-file checkers
+  see one :class:`FileContext`, project checkers see every parsed file
+  at once (source files and test files separately, so cross-references
+  like A/B-coverage can be computed without linting the tests
+  themselves).
+* Module *roles* decide which rules apply where.  Real modules get
+  their roles from :mod:`tools.reprolint.project` path registries;
+  any file can also declare roles inline (fixtures do)::
+
+      # reprolint: module-role=kernel,columnar
+
+* Suppressions are justification-carrying comments::
+
+      x = np.full(n, name)  # reprolint: disable=dtype-discipline -- unicode width inferred
+
+  A standalone suppression comment line applies to the next code line.
+  ``disable-file=`` suppresses for the whole file.  A suppression with
+  no ``-- justification`` is honoured *and* reported as a
+  ``bare-suppression`` violation, so silent opt-outs cannot
+  accumulate.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from tools.reprolint.project import LintConfig
+
+__all__ = [
+    "Checker",
+    "FileContext",
+    "LintResult",
+    "Violation",
+    "attr_chain",
+    "register",
+    "registered_rules",
+    "run_lint",
+]
+
+#: Rules that exist outside the checker registry and can never be
+#: suppressed (a suppression that cannot itself be suppressed keeps the
+#: justification requirement enforceable).
+BARE_SUPPRESSION = "bare-suppression"
+PARSE_ERROR = "parse-error"
+
+_SUPPRESS_RE = re.compile(
+    r"#\s*reprolint:\s*disable(?P<scope>-file)?="
+    r"(?P<rules>[A-Za-z0-9_\-, ]+?)"
+    r"(?:\s*--\s*(?P<why>.*))?$"
+)
+_ROLE_RE = re.compile(r"#\s*reprolint:\s*module-role=(?P<roles>[A-Za-z0-9_\-, ]+)")
+_WHITELIST_RE = re.compile(
+    r"#\s*reprolint:\s*hot-path-whitelist=(?P<names>[A-Za-z0-9_, ]+)"
+)
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule breach at one location."""
+
+    path: str  #: repo-relative posix path
+    line: int  #: 1-indexed source line
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+@dataclass
+class Suppressions:
+    """Per-file suppression state parsed from raw source lines."""
+
+    file_level: set[str] = field(default_factory=set)
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    #: (line, message) pairs for bare/unknown suppressions.
+    defects: list[tuple[int, str]] = field(default_factory=list)
+
+    def covers(self, rule: str, line: int) -> bool:
+        if rule in self.file_level:
+            return True
+        return rule in self.by_line.get(line, ())
+
+
+def _comment_tokens(source: str) -> list[tuple[int, str]]:
+    """(line, comment-text) for every real comment token.
+
+    Pragmas are only honoured in actual comments — a docstring that
+    *quotes* the suppression syntax (like the one above) must not
+    register a suppression for its own line.
+    """
+    try:
+        return [
+            (token.start[0], token.string)
+            for token in tokenize.generate_tokens(io.StringIO(source).readline)
+            if token.type == tokenize.COMMENT
+        ]
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        return []
+
+
+def _parse_suppressions(
+    comments: Sequence[tuple[int, str]],
+    lines: Sequence[str],
+    known_rules: set[str],
+) -> Suppressions:
+    supp = Suppressions()
+    for number, text in comments:
+        match = _SUPPRESS_RE.search(text)
+        if match is None:
+            continue
+        rules = [r.strip() for r in match.group("rules").split(",") if r.strip()]
+        why = (match.group("why") or "").strip()
+        if not why:
+            supp.defects.append(
+                (number, "suppression without a justification (add ' -- <reason>')")
+            )
+        for rule in rules:
+            if rule not in known_rules:
+                supp.defects.append((number, f"suppression names unknown rule {rule!r}"))
+        if match.group("scope"):
+            supp.file_level.update(rules)
+            continue
+        targets = [number]
+        if lines[number - 1].lstrip().startswith("#"):
+            # Standalone comment: also covers the next code line.
+            cursor = number  # 0-based index of the following line
+            while cursor < len(lines):
+                follower = lines[cursor].strip()
+                if follower and not follower.startswith("#"):
+                    targets.append(cursor + 1)
+                    break
+                cursor += 1
+        for target in targets:
+            supp.by_line.setdefault(target, set()).update(rules)
+    return supp
+
+
+@dataclass
+class FileContext:
+    """One parsed source file plus everything checkers need to know."""
+
+    path: Path
+    rel: str
+    source: str
+    lines: list[str]
+    tree: ast.Module
+    roles: frozenset[str]
+    hot_path_whitelist: frozenset[str]
+    suppressions: Suppressions
+
+    @classmethod
+    def load(cls, path: Path, root: Path, config: "LintConfig") -> "FileContext":
+        try:
+            rel = path.resolve().relative_to(root.resolve()).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        source = path.read_text(encoding="utf-8")
+        lines = source.splitlines()
+        tree = ast.parse(source, filename=str(path))
+        comments = _comment_tokens(source)
+        roles = set(config.roles_for(rel))
+        whitelist = set(config.hot_path_whitelist_for(rel))
+        for _, text in comments:
+            role_match = _ROLE_RE.search(text)
+            if role_match:
+                roles.update(
+                    r.strip() for r in role_match.group("roles").split(",") if r.strip()
+                )
+            wl_match = _WHITELIST_RE.search(text)
+            if wl_match:
+                whitelist.update(
+                    n.strip() for n in wl_match.group("names").split(",") if n.strip()
+                )
+        known = set(registered_rules()) | {BARE_SUPPRESSION, PARSE_ERROR}
+        return cls(
+            path=path,
+            rel=rel,
+            source=source,
+            lines=lines,
+            tree=tree,
+            roles=frozenset(roles),
+            hot_path_whitelist=frozenset(whitelist),
+            suppressions=_parse_suppressions(comments, lines, known),
+        )
+
+
+class Checker:
+    """Base class: subclass, set ``name``/``description``, register."""
+
+    name = ""
+    description = ""
+
+    def __init__(self, config: "LintConfig"):
+        self.config = config
+
+    def check_file(self, ctx: FileContext) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(
+        self, sources: Sequence[FileContext], tests: Sequence[FileContext]
+    ) -> Iterator[Violation]:
+        return iter(())
+
+
+_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register(cls: type[Checker]) -> type[Checker]:
+    if not cls.name:
+        raise ValueError(f"checker {cls.__name__} has no rule name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate checker name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def registered_rules() -> dict[str, type[Checker]]:
+    """Name -> checker class, importing the built-in checkers once."""
+    import tools.reprolint.checkers  # noqa: F401  (registration side effect)
+
+    return dict(_REGISTRY)
+
+
+def attr_chain(node: ast.AST) -> list[str] | None:
+    """``a.b.c`` -> ["a", "b", "c"]; None for non-name-rooted expressions."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return parts[::-1]
+    return None
+
+
+@dataclass
+class LintResult:
+    violations: list[Violation]
+    files_scanned: int
+    test_files: int
+
+    @property
+    def clean(self) -> bool:
+        return not self.violations
+
+
+def _discover(paths: Iterable[Path]) -> list[Path]:
+    files: list[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(
+                p
+                for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    seen: set[Path] = set()
+    unique = []
+    for path in files:
+        resolved = path.resolve()
+        if resolved not in seen:
+            seen.add(resolved)
+            unique.append(path)
+    return unique
+
+
+def run_lint(
+    paths: Sequence[str | Path],
+    tests: Sequence[str | Path] = (),
+    config: "LintConfig | None" = None,
+    root: str | Path = ".",
+    rules: Sequence[str] | None = None,
+) -> LintResult:
+    """Lint ``paths``; parse ``tests`` for cross-file checks only.
+
+    Returns every unsuppressed violation, sorted by location.  Files
+    under ``tests`` are *not* linted per-file — they feed project-level
+    checkers (A/B-equivalence coverage) as the cross-reference side.
+    """
+    from tools.reprolint.project import DEFAULT_CONFIG
+
+    config = config if config is not None else DEFAULT_CONFIG
+    root = Path(root)
+    registry = registered_rules()
+    if rules is not None:
+        unknown = sorted(set(rules) - set(registry))
+        if unknown:
+            raise ValueError(f"unknown rule(s): {', '.join(unknown)}")
+        registry = {name: cls for name, cls in registry.items() if name in rules}
+
+    violations: list[Violation] = []
+    contexts: list[FileContext] = []
+    for path in _discover(Path(p) for p in paths):
+        try:
+            contexts.append(FileContext.load(path, root, config))
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    path=path.as_posix(),
+                    line=exc.lineno or 1,
+                    rule=PARSE_ERROR,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    test_contexts: list[FileContext] = []
+    for path in _discover(Path(p) for p in tests):
+        try:
+            test_contexts.append(FileContext.load(path, root, config))
+        except SyntaxError:
+            continue  # the tier-1 run owns test syntax errors
+
+    by_rel = {ctx.rel: ctx for ctx in contexts}
+    for ctx in contexts:
+        for line, message in ctx.suppressions.defects:
+            violations.append(
+                Violation(path=ctx.rel, line=line, rule=BARE_SUPPRESSION, message=message)
+            )
+
+    checkers = [cls(config) for cls in registry.values()]
+    raw: list[Violation] = []
+    for checker in checkers:
+        for ctx in contexts:
+            raw.extend(checker.check_file(ctx))
+        raw.extend(checker.check_project(contexts, test_contexts))
+
+    for violation in raw:
+        ctx = by_rel.get(violation.path)
+        if ctx is not None and ctx.suppressions.covers(violation.rule, violation.line):
+            continue
+        violations.append(violation)
+
+    violations.sort()
+    return LintResult(
+        violations=violations,
+        files_scanned=len(contexts),
+        test_files=len(test_contexts),
+    )

@@ -1,0 +1,52 @@
+"""Render a :class:`LintResult` as human text or machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+
+from tools.reprolint.core import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    """gcc-style `path:line: [rule] message` lines plus a summary."""
+    out = [violation.render() for violation in result.violations]
+    if result.violations:
+        counts = Counter(v.rule for v in result.violations)
+        breakdown = ", ".join(f"{rule}: {n}" for rule, n in sorted(counts.items()))
+        out.append("")
+        out.append(
+            f"reprolint: {len(result.violations)} violation(s) "
+            f"({breakdown}) in {result.files_scanned} file(s)"
+        )
+    else:
+        out.append(
+            f"reprolint: clean — {result.files_scanned} file(s) scanned, "
+            f"{result.test_files} test file(s) cross-referenced"
+        )
+    return "\n".join(out)
+
+
+def render_json(result: LintResult) -> str:
+    """Stable JSON for the CI artifact: summary block + violation list."""
+    payload = {
+        "summary": {
+            "violations": len(result.violations),
+            "files_scanned": result.files_scanned,
+            "test_files": result.test_files,
+            "clean": result.clean,
+            "by_rule": dict(
+                sorted(Counter(v.rule for v in result.violations).items())
+            ),
+        },
+        "violations": [
+            {
+                "path": v.path,
+                "line": v.line,
+                "rule": v.rule,
+                "message": v.message,
+            }
+            for v in result.violations
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=False)
