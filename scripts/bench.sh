@@ -10,6 +10,9 @@
 #                                             serial vs. thread/process sweep walls
 #   benchmarks/output/BENCH_bus.json        — event-driven vs. columnar bus
 #                                             simulation frame rates
+#   benchmarks/output/BENCH_datapath.json   — zero-record data path: capture->
+#                                             train encode, chunked streaming,
+#                                             saturated-flood arbitration
 #
 # Usage:
 #   scripts/bench.sh            full run: tier-1 tests + micro-benchmarks
@@ -41,6 +44,7 @@ done
 MICRO_BENCHES=(
     benchmarks/test_bench_encoder.py
     benchmarks/test_bench_bus.py
+    benchmarks/test_bench_datapath.py
     benchmarks/test_bench_inference.py
     benchmarks/test_bench_gateway.py
     benchmarks/test_bench_campaigns.py
@@ -59,5 +63,5 @@ else
     echo "== micro-benchmarks =="
     python -m pytest -q -s "${MICRO_BENCHES[@]}" benchmarks/test_bench_micro.py
 
-    echo "perf trajectory written to benchmarks/output/BENCH_{encoders,bus,inference,gateway,campaigns}.json"
+    echo "perf trajectory written to benchmarks/output/BENCH_{encoders,bus,datapath,inference,gateway,campaigns}.json"
 fi

@@ -14,11 +14,10 @@ from typing import Protocol, Sequence
 
 import numpy as np
 
-from repro.can.log import CANLogRecord
+from repro.can.log import CANLogRecord, CaptureArray
 from repro.datasets.splits import train_val_test_split
 from repro.errors import DatasetError
 from repro.training.metrics import ids_metrics
-from repro.utils.bitops import int_to_bits
 
 __all__ = ["BaselineClassifier", "BaselineResult", "evaluate_baseline", "id_grid_windows"]
 
@@ -78,7 +77,7 @@ def evaluate_baseline(
 
 
 def id_grid_windows(
-    records: Sequence[CANLogRecord],
+    records: CaptureArray | Sequence[CANLogRecord],
     window: int = 29,
     pad_to: tuple[int, int] = (32, 16),
     stride: int = 1,
@@ -93,16 +92,18 @@ def id_grid_windows(
 
     Returns ``(X, y)`` with ``X`` of shape (N, 1, pad_to[0], pad_to[1]).
     """
-    if len(records) < window:
-        raise DatasetError(f"need at least {window} frames, got {len(records)}")
+    capture = CaptureArray.coerce(records)
+    if len(capture) < window:
+        raise DatasetError(f"need at least {window} frames, got {len(capture)}")
     height, width = pad_to
     if height < window or width < 11:
         raise DatasetError(f"pad_to {pad_to} cannot hold a {window}x11 grid")
-    id_bits = np.stack([int_to_bits(record.can_id, 11) for record in records]).astype(np.float64)
-    flags = np.array([1 if record.is_attack else 0 for record in records], dtype=np.int64)
+    # MSB-first identifier bits, columnar (bit-exact with int_to_bits).
+    id_bits = ((capture.can_ids[:, None] >> np.arange(10, -1, -1)) & 1).astype(np.float64)
+    flags = capture.labels.astype(np.int64)
     images = []
     labels = []
-    for start in range(0, len(records) - window + 1, stride):
+    for start in range(0, len(capture) - window + 1, stride):
         grid = np.zeros((height, width), dtype=np.float64)
         grid[:window, :11] = id_bits[start : start + window]
         images.append(grid)

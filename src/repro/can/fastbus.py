@@ -33,6 +33,7 @@ horizon clipping.
 from __future__ import annotations
 
 import heapq
+from collections import deque
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -579,6 +580,7 @@ def simulate_arbitration(
         assert ids_list is not None
         assert chain_list is not None
         pending: list[tuple[int, int]] = []
+        run_queue: deque[int] = deque()
         block_index: list[int] = []
         block_start: list[float] = []
         block_end: list[float] = []
@@ -598,7 +600,7 @@ def simulate_arbitration(
             while i < n and releases_list[i] <= candidate:
                 heapq.heappush(pending, (ids_list[i], i))
                 i += 1
-            _, winner = heapq.heappop(pending)
+            m, winner = heapq.heappop(pending)
             release = releases_list[winner]
             start = release if release > free else free
             end = start + durations_list[winner]
@@ -606,6 +608,77 @@ def simulate_arbitration(
             block_start.append(start)
             block_end.append(end)
             free = end
+            # Batched same-priority run: while the winning identifier
+            # keeps winning, serve its frames back-to-back without the
+            # per-frame heap churn and candidate recomputation.  Two
+            # invariants make this bit-exact with the plain loop above:
+            # every heap entry's release is <= free (so candidate would
+            # equal free), and an admitted frame's start is therefore
+            # exactly free.  Same-id frames already in the heap carry
+            # smaller schedule indices than anything admitted here, so
+            # popping them before the run queue preserves (id, index)
+            # order.  Breaking out at any point leaves (emitted, heap,
+            # i, free) in a state the plain loop reaches too.
+            while True:
+                if (
+                    not run_queue
+                    and (not pending or pending[0][0] > m)
+                    and i < n
+                    and ids_list[i] == m
+                    and releases_list[i] <= free
+                ):
+                    # Contiguous stretch of schedule rows all carrying id
+                    # m: resolve the saturated prefix in one vectorised
+                    # slice.  np.add.accumulate is sequential, so the
+                    # back-to-back completions are the identical IEEE
+                    # additions the scalar loop would perform.
+                    j = i + 1
+                    while j < n and ids_list[j] == m:
+                        j += 1
+                    if j - i >= 8:
+                        limit = releases_list[j] if j < n else float("inf")
+                        ends = np.add.accumulate(
+                            np.concatenate(
+                                (np.array([free], dtype=np.float64), durations[i:j])
+                            )
+                        )[1:]
+                        begins = np.concatenate(
+                            (np.array([free], dtype=np.float64), ends[:-1])
+                        )
+                        # Serve while each frame is released by its start
+                        # and nothing outside the run would join
+                        # arbitration first.
+                        ok = (releases[i:j] <= begins) & (begins < limit)
+                        served = j - i if bool(ok.all()) else int(np.argmin(ok))
+                        if served:
+                            block_index.extend(range(i, i + served))
+                            block_start.extend(begins[:served].tolist())
+                            block_end.extend(ends[:served].tolist())
+                            free = float(ends[served - 1])
+                            i += served
+                            continue
+                while i < n and releases_list[i] <= free:
+                    cid = ids_list[i]
+                    if cid == m:
+                        run_queue.append(i)
+                    else:
+                        heapq.heappush(pending, (cid, i))
+                    i += 1
+                if pending and pending[0][0] <= m:
+                    if pending[0][0] < m:
+                        break  # a higher-priority id preempts the run
+                    _, nxt = heapq.heappop(pending)
+                elif run_queue:
+                    nxt = run_queue.popleft()
+                else:
+                    break  # nothing released that id m outranks
+                block_index.append(nxt)
+                block_start.append(free)
+                end = free + durations_list[nxt]
+                block_end.append(end)
+                free = end
+            while run_queue:  # unserved run frames rejoin arbitration
+                heapq.heappush(pending, (m, run_queue.popleft()))
         emitted = len(block_index)
         out_index[count : count + emitted] = block_index
         out_start[count : count + emitted] = block_start

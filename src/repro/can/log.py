@@ -16,7 +16,7 @@ from __future__ import annotations
 import csv
 from dataclasses import dataclass
 from pathlib import Path
-from typing import TYPE_CHECKING, Iterable, Sequence, cast
+from typing import TYPE_CHECKING, Iterable, Iterator, Sequence, cast
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.can.fastbus import ArbitrationResult
@@ -197,6 +197,37 @@ class CaptureArray:
             labels=np.concatenate([p.labels for p in parts]),
         )
 
+    @classmethod
+    def concat(cls, parts: Sequence["CaptureArray"]) -> "CaptureArray":
+        """Alias of :meth:`concatenate`."""
+        return cls.concatenate(parts)
+
+    def iter_windows(
+        self, window_s: float, origin: float | None = None
+    ) -> Iterator["CaptureArray"]:
+        """Yield consecutive virtual-time windows as zero-copy views.
+
+        Window ``k`` covers ``[origin + k*window_s, origin + (k+1)*window_s)``
+        with ``origin`` defaulting to the first timestamp.  Every window
+        up to the one containing the last frame is yielded, including
+        empty ones (the bus being silent is itself a signal to
+        rate-based detectors); frames before ``origin`` are skipped.
+        Each yield is a contiguous slice sharing this capture's buffers.
+        """
+        if window_s <= 0:
+            raise DatasetError(f"window_s must be positive, got {window_s}")
+        if len(self) == 0:
+            return
+        start = float(self.timestamps[0]) if origin is None else float(origin)
+        last = float(self.timestamps[-1])
+        if last < start:
+            return
+        count = int(np.floor((last - start) / window_s)) + 1
+        edges = start + window_s * np.arange(count + 1, dtype=np.float64)
+        bounds = np.searchsorted(self.timestamps, edges, side="left")
+        for k in range(count):
+            yield self[int(bounds[k]) : int(bounds[k + 1])]
+
 
 def records_from_bus(bus_records: Iterable[BusRecord]) -> list[CANLogRecord]:
     """Convert simulator output into capture records."""
@@ -212,16 +243,30 @@ def records_from_bus(bus_records: Iterable[BusRecord]) -> list[CANLogRecord]:
     ]
 
 
-def write_car_hacking_csv(records: Sequence[CANLogRecord], path: str | Path) -> Path:
-    """Write records in the Car-Hacking dataset CSV schema."""
+def write_car_hacking_csv(
+    records: "CaptureArray | Sequence[CANLogRecord]", path: str | Path
+) -> Path:
+    """Write a capture in the Car-Hacking dataset CSV schema.
+
+    Accepts the columnar :class:`CaptureArray` directly (rows are
+    formatted straight from the field arrays — no per-frame
+    :class:`CANLogRecord` allocation) as well as a record list.
+    """
+    capture = CaptureArray.coerce(records)
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
+    timestamps = capture.timestamps
+    can_ids = capture.can_ids
+    dlcs = capture.dlcs
+    payloads = capture.payloads
+    labels = capture.labels
     with path.open("w", newline="", encoding="utf-8") as handle:
         writer = csv.writer(handle)
-        for record in records:
-            row = [f"{record.timestamp:.6f}", f"{record.can_id:04x}", str(record.dlc)]
-            row.extend(f"{byte:02x}" for byte in record.data)
-            row.append(record.label)
+        for i in range(len(capture)):
+            dlc = int(dlcs[i])
+            row = [f"{timestamps[i]:.6f}", f"{int(can_ids[i]):04x}", str(dlc)]
+            row.extend(f"{byte:02x}" for byte in payloads[i, :dlc])
+            row.append(LABEL_ATTACK if labels[i] else LABEL_NORMAL)
             writer.writerow(row)
     return path
 

@@ -26,10 +26,13 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Sequence
 
+import numpy as np
+
 from repro.can.attacks import DoSAttacker, FuzzyAttacker, SpoofingAttacker
 from repro.can.bus import BITRATE_HS_CAN, BusSimulator
 from repro.can.log import (
     CANLogRecord,
+    CaptureArray,
     read_car_hacking_csv,
     write_car_hacking_csv,
 )
@@ -158,9 +161,18 @@ def build_vehicle_bus(
 
 @dataclass
 class CarHackingCapture:
-    """A labelled capture plus its generation metadata."""
+    """A labelled capture plus its generation metadata.
 
-    records: list[CANLogRecord]
+    The frames live in a columnar :class:`~repro.can.log.CaptureArray`
+    (``.capture``) — the interchange type for every training, streaming
+    and experiment path.  ``capture[a:b]`` slicing is forwarded, so
+    ``generate_capture(...)[:n]`` hands a zero-copy window straight to
+    ``encode_batch``/``process_capture``.  The row-oriented ``.records``
+    list is materialised lazily, for display and per-frame reference
+    paths only.
+    """
+
+    capture: CaptureArray
     attack: str | None
     duration: float
     bitrate: float
@@ -168,26 +180,41 @@ class CarHackingCapture:
     attack_windows: list[tuple[float, float]] = field(default_factory=list)
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self.capture)
+
+    def __getitem__(self, index: "int | slice | np.ndarray") -> CaptureArray:
+        """Columnar view of the capture (zero-copy for slices)."""
+        return self.capture[index]
+
+    @property
+    def records(self) -> list[CANLogRecord]:
+        """Row-oriented view, materialised on first access and cached."""
+        cached = self.__dict__.get("_records")
+        if cached is None:
+            cached = self.capture.to_records()
+            self.__dict__["_records"] = cached
+        return cached
 
     @property
     def num_attack(self) -> int:
-        return sum(1 for record in self.records if record.is_attack)
+        return int(self.capture.labels.sum())
 
     @property
     def num_normal(self) -> int:
-        return len(self.records) - self.num_attack
+        return len(self.capture) - self.num_attack
 
     def save_csv(self, path: str | Path) -> Path:
         """Persist in the Car-Hacking CSV schema."""
-        return write_car_hacking_csv(self.records, path)
+        return write_car_hacking_csv(self.capture, path)
 
     @classmethod
     def load_csv(cls, path: str | Path, attack: str | None = None) -> "CarHackingCapture":
         """Load a capture (synthetic or the real dataset's files)."""
-        records = read_car_hacking_csv(path)
-        duration = records[-1].timestamp - records[0].timestamp if records else 0.0
-        return cls(records=records, attack=attack, duration=duration, bitrate=float("nan"), seed=-1)
+        capture = CaptureArray.from_records(read_car_hacking_csv(path))
+        duration = (
+            float(capture.timestamps[-1] - capture.timestamps[0]) if len(capture) else 0.0
+        )
+        return cls(capture=capture, attack=attack, duration=duration, bitrate=float("nan"), seed=-1)
 
 
 def generate_capture(
@@ -240,10 +267,10 @@ def generate_capture(
         bus.attach(SpoofingAttacker(windows, target_id=0x316, seed=seeds.seed("attacker")))
     # The columnar engine is bit-exact against BusSimulator.run (see
     # repro.can.fastbus), so the recorded capture is identical — only
-    # the per-frame simulation cost is gone.
-    records = bus.capture(duration).capture.to_records()
+    # the per-frame simulation cost is gone.  The CaptureArray is kept
+    # as-is; no record list is ever materialised on this path.
     return CarHackingCapture(
-        records=records,
+        capture=bus.capture(duration).capture,
         attack=attack,
         duration=duration,
         bitrate=bitrate,
@@ -295,9 +322,8 @@ def generate_mixed_capture(
             bus.attach(SpoofingAttacker(windows, target_id=0x43F, seed=attacker_seed))
         elif attack == "rpm":
             bus.attach(SpoofingAttacker(windows, target_id=0x316, seed=attacker_seed))
-    records = bus.capture(duration).capture.to_records()
     return CarHackingCapture(
-        records=records,
+        capture=bus.capture(duration).capture,
         attack="+".join(attacks),
         duration=duration,
         bitrate=bitrate,

@@ -54,15 +54,20 @@ class FeatureEncoder:
         """Encode one frame to a 1-D feature vector."""
         raise NotImplementedError
 
+    def _empty_batch(self) -> np.ndarray:
+        """Correctly-shaped ``(0, F)`` output for a zero-frame capture."""
+        return np.zeros((0, self.num_features), dtype=np.float64)
+
     def encode_batch(self, capture: CaptureArray) -> np.ndarray:
         """Encode a columnar capture to features ``X`` (N, F).
 
         The base implementation falls back to the per-frame reference;
         subclasses override with vectorised kernels that must stay
-        bit-exact with it.
+        bit-exact with it.  Empty captures encode to ``(0, F)``.
         """
         if len(capture) == 0:
-            raise DatasetError("cannot encode an empty capture")
+            return self._empty_batch()
+        # reprolint: disable=hot-path-purity -- scalar reference fallback; subclasses provide the vectorised kernels
         return np.stack([self.encode_frame(record) for record in capture.to_records()])
 
     def encode(
@@ -71,10 +76,9 @@ class FeatureEncoder:
         """Encode a capture into features ``X`` (N, F) and labels ``y`` (N,).
 
         Labels are 1 for attack ("T") frames, 0 for regular traffic.
+        Empty captures yield ``(0, F)`` features and ``(0,)`` labels.
         """
         capture = CaptureArray.coerce(records)
-        if len(capture) == 0:
-            raise DatasetError("cannot encode an empty capture")
         return self.encode_batch(capture), capture.labels.astype(np.int64)
 
 
@@ -94,7 +98,7 @@ class BitFeatureEncoder(FeatureEncoder):
 
     def encode_batch(self, capture: CaptureArray) -> np.ndarray:
         if len(capture) == 0:
-            raise DatasetError("cannot encode an empty capture")
+            return self._empty_batch()
         if int(capture.can_ids.max()) > MAX_STANDARD_ID:
             bad = int(capture.can_ids.max())
             raise DatasetError(f"bit encoder expects standard ids, got 0x{bad:X}")
@@ -122,7 +126,7 @@ class ByteFeatureEncoder(FeatureEncoder):
 
     def encode_batch(self, capture: CaptureArray) -> np.ndarray:
         if len(capture) == 0:
-            raise DatasetError("cannot encode an empty capture")
+            return self._empty_batch()
         out = np.empty((len(capture), self.num_features), dtype=np.float64)
         out[:, 0] = capture.can_ids / MAX_STANDARD_ID
         out[:, 1] = capture.dlcs / 8.0
@@ -162,7 +166,7 @@ class WindowFeatureEncoder(FeatureEncoder):
 
     def encode_batch(self, capture: CaptureArray) -> np.ndarray:
         if len(capture) == 0:
-            raise DatasetError("cannot encode an empty capture")
+            return self._empty_batch()
         base_features = self.base.encode_batch(capture)
         if self.include_interarrival:
             times = capture.timestamps
@@ -171,6 +175,7 @@ class WindowFeatureEncoder(FeatureEncoder):
             base_features = np.concatenate([base_features, gaps[:, None]], axis=1)
         count, per_frame = base_features.shape
         window_x = np.zeros((count, self.window * per_frame), dtype=np.float64)
+        # reprolint: disable=hot-path-purity -- O(window) offset loop, not O(frames)
         for offset in range(self.window):
             # offset 0 = current frame, 1 = previous, ...
             source = base_features[: count - offset] if offset else base_features

@@ -42,11 +42,11 @@ def run_baseline_table(
     rows: list[BaselineResult] = []
     seed = context.settings.seed
     for attack in attacks:
-        records = context.capture(attack).records[:max_frames]
-        bit_x, bit_y = BitFeatureEncoder().encode(records)
+        window = context.capture(attack)[:max_frames]
+        bit_x, bit_y = BitFeatureEncoder().encode(window)
         seq_encoder = WindowFeatureEncoder(BitFeatureEncoder(), window=4)
-        seq_x, seq_y = seq_encoder.encode_sequences(records)
-        grid_x, grid_y = id_grid_windows(records, window=29)
+        seq_x, seq_y = seq_encoder.encode_sequences(window)
+        grid_x, grid_y = id_grid_windows(window, window=29)
 
         rows.append(
             evaluate_baseline(

@@ -45,7 +45,7 @@ def run_energy(context: ExperimentContext, eval_frames: int = 4000) -> EnergyRes
         name="energy-ecu",
         seed=derive_seed(context.settings.seed, "energy"),
     )
-    report = ecu.process_capture(context.capture("dos").records[:eval_frames], with_metrics=False)
+    report = ecu.process_capture(context.capture("dos")[:eval_frames], with_metrics=False)
     return EnergyResult(
         mean_power_w=report.mean_power_w,
         energy_per_inference_mj=1e3 * report.energy_per_inference_j,

@@ -62,22 +62,21 @@ def run_figure1(context: ExperimentContext, eval_frames: int | None = None) -> d
     results: dict[str, Figure1Result] = {}
     for attack in ("dos", "fuzzy"):
         capture = context.capture(attack)
-        records = capture.records[:eval_frames] if eval_frames else capture.records
+        window = capture[:eval_frames] if eval_frames else capture.capture
         ecu = IDSEnabledECU(
             context.ip(attack),
             BitFeatureEncoder(),
             name=f"{attack}-ids-ecu",
             seed=derive_seed(context.settings.seed, f"fig1-{attack}"),
         )
-        report = ecu.process_capture(records)
-        timestamps = np.array([record.timestamp for record in records])
+        report = ecu.process_capture(window)
         delays = _burst_detection_delays(
-            timestamps, report.predictions, capture.attack_windows, report.mean_latency_s
+            window.timestamps, report.predictions, capture.attack_windows, report.mean_latency_s
         )
         results[attack] = Figure1Result(
             attack=attack,
-            num_frames=len(records),
-            num_attack_frames=int(sum(1 for r in records if r.is_attack)),
+            num_frames=len(window),
+            num_attack_frames=int(window.labels.sum()),
             detections=len(report.alerts),
             detection_delays_ms=delays,
             metrics=report.metrics or {},

@@ -51,8 +51,7 @@ def run_multimodel(context: ExperimentContext, eval_frames: int = 3000) -> Multi
     encoder = BitFeatureEncoder()
     metrics = {}
     for attack, core in (("dos", overlay.dos_ids), ("fuzzy", overlay.fuzzy_ids)):
-        records = context.capture(attack).records[:eval_frames]
-        features, labels = encoder.encode(records)
+        features, labels = encoder.encode(context.capture(attack)[:eval_frames])
         predictions = core.classify_batch(features)
         metrics[attack] = ids_metrics(labels, predictions)
 

@@ -45,7 +45,7 @@ def run_table2(context: ExperimentContext, eval_frames: int = 4000) -> Table2Res
         name="table2-ecu",
         seed=derive_seed(context.settings.seed, "table2-ecu"),
     )
-    report = ecu.process_capture(capture.records[:eval_frames], with_metrics=False)
+    report = ecu.process_capture(capture[:eval_frames], with_metrics=False)
     mth = next(row for row in PUBLISHED_LATENCY if row.model == "MTH-IDS")
     measured_ms = 1e3 * report.mean_latency_s
     return Table2Result(

@@ -110,7 +110,7 @@ def run_throughput(
         name="throughput-ecu",
         seed=derive_seed(context.settings.seed, "throughput"),
     )
-    report = ecu.process_capture(context.capture("dos").records[:eval_frames], with_metrics=False)
+    report = ecu.process_capture(context.capture("dos")[:eval_frames], with_metrics=False)
     bits_per_frame = max_frame_bits(dlc=8)  # highest payload capacity, worst-case stuffing
     per_ip = shared = None
     if gateway_channels:  # 0 skips the scale-out runs (single-ECU figures only)

@@ -532,14 +532,24 @@ class ECUStreamSession:
                 capture.timestamps, self._service_s, ecu.fifo.capacity
             )
         )
-        self._kept = capture[kept_mask]
+        if bool(kept_mask.all()):
+            # Drop-free (the common case): the admitted stream IS the
+            # capture — alias it zero-copy instead of mask-copying every
+            # column, and chunk slices below stay views of the caller's
+            # buffers end to end.
+            self._kept = capture
+            self.kept_indices = np.arange(len(capture), dtype=np.int64)
+            self._queue_waits = queue_waits
+            self._eviction_times = np.zeros(0, dtype=np.float64)
+        else:
+            self._kept = capture[kept_mask]
+            self.kept_indices = np.flatnonzero(kept_mask)
+            self._queue_waits = queue_waits[kept_mask]
+            #: when drop-oldest evicted each casualty (sorted)
+            self._eviction_times = np.sort(evictions[~kept_mask])
         self.fifo_dropped = len(capture) - len(self._kept)
-        self.kept_indices = np.flatnonzero(kept_mask)
-        self._queue_waits = queue_waits[kept_mask]
         #: service-start times of admitted frames (non-decreasing: FIFO order)
         self._starts = self._kept.timestamps + self._queue_waits
-        #: when drop-oldest evicted each casualty (sorted; empty if drop-free)
-        self._eviction_times = np.sort(evictions[~kept_mask])
         ecu.fifo.transfer(len(self._kept))
         ecu.fifo.record_overflow(self.fifo_dropped)
 

@@ -84,7 +84,7 @@ def train_ids_model(
             "increase duration or check attack windows"
         )
     encoder = encoder or BitFeatureEncoder()
-    features, labels = encoder.encode(capture.records)
+    features, labels = encoder.encode(capture.capture)
     splits = train_val_test_split(features, labels, seed=derive_seed(seed, "split"))
 
     model_config = model_config or QMLPConfig(

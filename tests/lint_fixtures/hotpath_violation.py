@@ -8,3 +8,7 @@ def drain(frames):
     for frame in frames:
         total += frame.wire_bits()
     return total
+
+
+def materialise(capture):
+    return capture.records

@@ -13,6 +13,7 @@ from repro.datasets.carhacking import (
 from repro.datasets.features import (
     BitFeatureEncoder,
     ByteFeatureEncoder,
+    FeatureEncoder,
     WindowFeatureEncoder,
 )
 from repro.datasets.splits import train_val_test_split
@@ -96,9 +97,31 @@ class TestBitFeatureEncoder:
         flags = [1 if r.is_attack else 0 for r in dos_capture.records[:500]]
         np.testing.assert_array_equal(y, flags)
 
-    def test_empty_capture_rejected(self):
-        with pytest.raises(DatasetError):
-            BitFeatureEncoder().encode([])
+    def test_empty_capture_encodes_to_empty(self):
+        # Empty captures (e.g. a fully-dropped flood window) encode to
+        # correctly-shaped empty arrays on every encoder path.
+        for encoder in (
+            BitFeatureEncoder(),
+            ByteFeatureEncoder(),
+            WindowFeatureEncoder(ByteFeatureEncoder(), window=4),
+        ):
+            X, y = encoder.encode([])
+            assert X.shape == (0, encoder.num_features)
+            assert X.dtype == np.float64
+            assert y.shape == (0,)
+            assert y.dtype == np.int64
+
+    def test_empty_capture_base_fallback_and_sequences(self):
+        class ScalarOnly(BitFeatureEncoder):
+            def encode_batch(self, capture):
+                return FeatureEncoder.encode_batch(self, capture)
+
+        X, _ = ScalarOnly().encode([])
+        assert X.shape == (0, 79)
+        enc = WindowFeatureEncoder(ByteFeatureEncoder(), window=4)
+        seq, labels = enc.encode_sequences([])
+        assert seq.shape == (0, 4, 11)
+        assert labels.shape == (0,)
 
 
 class TestByteFeatureEncoder:

@@ -130,11 +130,13 @@ class TestEncodeBatchParity:
         assert X.shape == (200, 79)
         assert y.tolist() == [1 if r.is_attack else 0 for r in dos_capture.records[:200]]
 
-    def test_empty_capture_rejected(self):
-        with pytest.raises(DatasetError):
-            BitFeatureEncoder().encode([])
-        with pytest.raises(DatasetError):
-            BitFeatureEncoder().encode_batch(CaptureArray.from_records([]))
+    def test_empty_capture_encodes_empty(self):
+        # Zero-frame captures (fully-dropped flood windows) are valid
+        # input: every encoder path yields correctly-shaped empties.
+        X, y = BitFeatureEncoder().encode([])
+        assert X.shape == (0, 79) and y.shape == (0,)
+        batch = BitFeatureEncoder().encode_batch(CaptureArray.from_records([]))
+        assert batch.shape == (0, 79)
 
 
 class TestFifoDropAccounting:

@@ -11,6 +11,8 @@ flags:
   are fine — the ban is on statement loops, the shape per-frame
   fallbacks take);
 * calls to ``.to_records()`` (row materialisation);
+* ``.records`` attribute reads (the lazily materialised row list on
+  ``CarHackingCapture`` — hot paths must take ``.capture`` instead);
 * per-element ``CANFrame(...)`` construction.
 
 Each module's sanctioned scalar helpers (A/B materialisers, CSV I/O,
@@ -32,8 +34,8 @@ class HotPathPurity(Checker):
     name = "hot-path-purity"
     description = (
         "columnar modules may not iterate frames in for-loops, call "
-        ".to_records(), or construct CANFrame per element outside "
-        "whitelisted helpers"
+        ".to_records(), read .records, or construct CANFrame per "
+        "element outside whitelisted helpers"
     )
 
     def check_file(self, ctx: FileContext) -> Iterator[Violation]:
@@ -87,3 +89,17 @@ class HotPathPurity(Checker):
                             "columns"
                         ),
                     )
+        elif (
+            isinstance(node, ast.Attribute)
+            and node.attr == "records"
+            and isinstance(node.ctx, ast.Load)
+        ):
+            yield Violation(
+                path=ctx.rel,
+                line=node.lineno,
+                rule=self.name,
+                message=(
+                    ".records materialises the per-frame row list; columnar "
+                    "paths take the CaptureArray (.capture) directly"
+                ),
+            )
