@@ -83,7 +83,10 @@ def test_bench_campaign_sweep(sweep_context):
         "scenarios": len(result.scenario_names()),
         "campaign_duration_s": DURATION,
         "wall_seconds": round(wall_s, 3),
-        "engine": "columnar",
+        # Resolved by ExecOptions at run time ("auto" picks process
+        # fan-out on multi-core hosts): record what actually ran.
+        "backend": result.backend,
+        "engine": result.engine,
         # "auto" = every scenario carries the detector matching its
         # mechanics; the per-scenario map records which one that was.
         "detector": result.detector,

@@ -1,0 +1,125 @@
+"""Micro-benchmark: fleet-scale campaign throughput (vehicles/sec).
+
+Samples a heterogeneous fleet (mixed scenarios, topology profiles and
+gateway deployments, staggered attack onsets) and runs it end to end
+through ``repro.fleet.run_fleet``, timing only the fleet call itself —
+detectors train and compile outside the window.  Archives the
+trajectory to ``benchmarks/output/BENCH_fleet.json``.
+
+Metric classes (see ``scripts/check_bench_regression.py``):
+``vehicles_per_sec`` and the deterministic ``offered_fps`` (frames per
+simulated vehicle-second, a property of the seeded population) gate the
+regression check; ``wall_seconds`` is environment-bound and skipped.
+Per-vehicle simulation cost is duration-proportional, so both lanes use
+the same per-vehicle scenario length — the smoke lane only shrinks the
+*population*, keeping vehicles/sec comparable across scales.
+"""
+
+import json
+import time
+
+from _bench_lane import OUTPUT_DIR, SMOKE
+
+from repro.experiments.context import ExperimentContext, ExperimentSettings
+from repro.fleet import ExecOptions, FleetSpec, fleet_detectors, run_fleet
+
+#: Per-vehicle campaign length (seconds of simulated bus time) — the
+#: same in both lanes so vehicles/sec stays scale-comparable.
+DURATION = 0.4
+
+#: Population size: the full lane simulates a 1000-vehicle fleet.
+FLEET_SIZE = 12 if SMOKE else 1000
+
+#: Vehicles per shard task (the memory bound: peak RSS is O(shard)).
+SHARD_SIZE = 4 if SMOKE else 50
+
+
+def test_bench_fleet():
+    settings = (
+        ExperimentSettings(duration=4.0, epochs=2, seed=2023)
+        if SMOKE
+        else ExperimentSettings(duration=6.0, epochs=8, seed=2023)
+    )
+    context = ExperimentContext(settings)
+    spec = FleetSpec(
+        name="bench-city",
+        size=FLEET_SIZE,
+        seed=2023,
+        scenarios=(
+            "baseline-dos",
+            "baseline-fuzzy",
+            "stealth-low-rate",
+            "masquerade-rpm",
+        ),
+        profiles=("full", "mid", "lite"),
+        deployments=("per-ip", "shared-ip"),
+        duration=DURATION,
+        onset_jitter=0.05,
+    )
+    # Train/compile every scenario-matched detector outside the timed
+    # window: wall_seconds tracks the fleet itself, not model training.
+    for detector in sorted(set(fleet_detectors(spec).values())):
+        context.ip(detector)
+
+    start = time.perf_counter()
+    result = run_fleet(
+        context, spec, ExecOptions(backend="auto"), shard_size=SHARD_SIZE
+    )
+    wall_s = time.perf_counter() - start
+
+    total = result.aggregate.total
+    # Structural invariants the fleet must keep as it scales.
+    assert result.vehicles == FLEET_SIZE
+    assert total.frames_processed + total.frames_dropped == total.frames_offered
+    assert total.phases_injecting >= FLEET_SIZE  # every scenario injects
+    assert 0.0 < total.detection_rate <= 1.0
+    assert sum(s.vehicles for s in result.aggregate.by_scenario.values()) == FLEET_SIZE
+
+    simulated_s = FLEET_SIZE * DURATION
+    payload = {
+        "vehicles": FLEET_SIZE,
+        "vehicle_duration_s": DURATION,
+        "shards": result.shards,
+        "workers": result.workers,
+        # Resolved by ExecOptions at run time ("auto" picks process
+        # fan-out on multi-core hosts): record what actually ran.
+        "backend": result.backend,
+        "engine": result.engine,
+        "wall_seconds": round(wall_s, 3),
+        "vehicles_per_sec": round(FLEET_SIZE / wall_s, 2),
+        # Deterministic traffic rate of the seeded population: frames
+        # offered per simulated vehicle-second — this anchors the gate.
+        "offered_fps": round(total.frames_offered / simulated_s, 1),
+        "frames_offered": total.frames_offered,
+        "detection_rate": round(total.detection_rate, 4),
+        "drop_rate": round(total.drop_rate, 4),
+        "latency_p50_upper_s": total.latency_quantile_s(0.5),
+        "latency_p99_upper_s": total.latency_quantile_s(0.99),
+        "by_scenario": {
+            name: {
+                "vehicles": piece.vehicles,
+                "detection_rate": round(piece.detection_rate, 4),
+                "drop_rate": round(piece.drop_rate, 4),
+            }
+            for name, piece in result.aggregate.by_scenario.items()
+        },
+        "by_deployment": {
+            name: {
+                "vehicles": piece.vehicles,
+                "detection_rate": round(piece.detection_rate, 4),
+                "drop_rate": round(piece.drop_rate, 4),
+            }
+            for name, piece in result.aggregate.by_deployment.items()
+        },
+    }
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / "BENCH_fleet.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    print(
+        f"\nfleet {FLEET_SIZE} vehicles x {DURATION}s: {wall_s:.1f}s wall "
+        f"({payload['vehicles_per_sec']:.1f} vehicles/s, "
+        f"{result.shards} shards, {result.workers} {result.backend} workers), "
+        f"detection {100.0 * total.detection_rate:.1f}%, "
+        f"drop {100.0 * total.drop_rate:.2f}%"
+    )

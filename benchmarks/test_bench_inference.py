@@ -28,6 +28,7 @@ from _bench_lane import OUTPUT_DIR, SMOKE
 
 from repro.datasets.features import BitFeatureEncoder
 from repro.experiments.campaigns import default_sweep_workers, run_campaign_sweep
+from repro.fleet import ExecOptions
 from repro.experiments.context import ExperimentContext, ExperimentSettings
 from repro.finn.compiled import engine_cache_info, engine_for
 from repro.soc.accelerator import MemoryMappedAccelerator
@@ -138,12 +139,18 @@ def test_bench_campaign_sweep_parallel(bench_context, bench_ip):
     workers = default_sweep_workers(len(SWEEP_SCENARIOS))
     start = time.perf_counter()
     serial = run_campaign_sweep(
-        bench_context, scenarios=SWEEP_SCENARIOS, duration=SWEEP_DURATION, max_workers=1
+        bench_context,
+        scenarios=SWEEP_SCENARIOS,
+        duration=SWEEP_DURATION,
+        options=ExecOptions(backend="thread", max_workers=1),
     )
     serial_s = time.perf_counter() - start
     start = time.perf_counter()
     parallel = run_campaign_sweep(
-        bench_context, scenarios=SWEEP_SCENARIOS, duration=SWEEP_DURATION, max_workers=workers
+        bench_context,
+        scenarios=SWEEP_SCENARIOS,
+        duration=SWEEP_DURATION,
+        options=ExecOptions(backend="thread", max_workers=workers),
     )
     parallel_s = time.perf_counter() - start
     start = time.perf_counter()
@@ -151,8 +158,7 @@ def test_bench_campaign_sweep_parallel(bench_context, bench_ip):
         bench_context,
         scenarios=SWEEP_SCENARIOS,
         duration=SWEEP_DURATION,
-        max_workers=workers,
-        backend="process",
+        options=ExecOptions(backend="process", max_workers=workers),
     )
     process_s = time.perf_counter() - start
 

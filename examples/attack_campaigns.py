@@ -19,6 +19,7 @@ Run:  python examples/attack_campaigns.py
 from repro.can.campaign import SCENARIOS, AttackPhase, Campaign
 from repro.experiments.campaigns import render_campaign_sweep, run_campaign_sweep
 from repro.experiments.context import ExperimentContext, ExperimentSettings
+from repro.fleet import ExecOptions
 from repro.soc.gateway import build_campaign_gateway
 
 
@@ -58,8 +59,10 @@ def main() -> None:
             "multi-segment-storm",
         ],
         duration=3.0,
+        options=ExecOptions(backend="auto"),
     )
     print(render_campaign_sweep(result).render())
+    print(f"(executed on the {result.backend!r} backend, {result.engine} engine)")
 
 
 if __name__ == "__main__":

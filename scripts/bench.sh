@@ -13,6 +13,9 @@
 #   benchmarks/output/BENCH_datapath.json   — zero-record data path: capture->
 #                                             train encode, chunked streaming,
 #                                             saturated-flood arbitration
+#   benchmarks/output/BENCH_fleet.json      — fleet-scale campaign service:
+#                                             vehicles/sec over a sharded
+#                                             heterogeneous population
 #
 # Usage:
 #   scripts/bench.sh            full run: tier-1 tests + micro-benchmarks
@@ -48,6 +51,7 @@ MICRO_BENCHES=(
     benchmarks/test_bench_inference.py
     benchmarks/test_bench_gateway.py
     benchmarks/test_bench_campaigns.py
+    benchmarks/test_bench_fleet.py
 )
 
 if [ "$SMOKE" -eq 1 ]; then
@@ -63,5 +67,5 @@ else
     echo "== micro-benchmarks =="
     python -m pytest -q -s "${MICRO_BENCHES[@]}" benchmarks/test_bench_micro.py
 
-    echo "perf trajectory written to benchmarks/output/BENCH_{encoders,bus,datapath,inference,gateway,campaigns}.json"
+    echo "perf trajectory written to benchmarks/output/BENCH_{encoders,bus,datapath,inference,gateway,campaigns,fleet}.json"
 fi

@@ -46,8 +46,12 @@ import statistics
 import sys
 from pathlib import Path
 
-#: Substrings marking a numeric leaf as a deterministic, gating rate metric.
-GATING_KEY_MARKERS = ("fps",)
+#: Substrings marking a numeric leaf as a gating rate metric: ``fps``
+#: rates are deterministic pipeline properties; ``vehicles_per_sec`` is
+#: the fleet lane's throughput, gated per the fleet service's contract
+#: (its file also gates on the deterministic ``offered_fps``, so the
+#: per-file median tolerates wall-clock sway in the vehicles rate).
+GATING_KEY_MARKERS = ("fps", "vehicles_per_sec")
 
 #: Substrings marking a leaf as wall-clock-derived: compared and printed,
 #: but never failing the check.  Checked before the gating markers, so

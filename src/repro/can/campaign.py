@@ -58,6 +58,7 @@ __all__ = [
     "ScenarioRegistry",
     "SCENARIOS",
     "compile_campaign",
+    "scenario_detector",
 ]
 
 #: Attacker kinds a phase may name.
@@ -206,6 +207,39 @@ class Campaign:
         """Plain (start, end+slack) windows of the phases on ``channel``."""
         return [(start, end) for _, start, end, _ in self.truth_windows()[channel]]
 
+    def shifted(self, offset: float) -> "Campaign":
+        """The same campaign with every attack onset delayed by ``offset``.
+
+        The staggered-fleet primitive: a population of vehicles running
+        the same scenario should not all come under attack at the same
+        virtual second.  The campaign duration grows by ``offset`` so
+        the shifted phases keep their full window (and their trailing
+        clean interval) inside the simulated horizon; clean traffic
+        before the first phase simply lasts ``offset`` seconds longer.
+        ``offset=0`` returns ``self`` unchanged.
+        """
+        if offset < 0:
+            raise CANError(f"onset offset must be >= 0, got {offset}")
+        if offset == 0:
+            return self
+        return Campaign(
+            name=self.name,
+            duration=self.duration + offset,
+            channels=self.channels,
+            phases=tuple(
+                AttackPhase(
+                    kind=phase.kind,
+                    start=phase.start + offset,
+                    end=phase.end + offset,
+                    channel=phase.channel,
+                    params=phase.params,
+                    name=phase.name,
+                )
+                for phase in self.phases
+            ),
+            description=self.description,
+        )
+
     def summary(self) -> str:
         lines = [
             f"Campaign {self.name!r}: {len(self.channels)} channel(s), "
@@ -238,6 +272,7 @@ def _replay_source(
     bitrate: float,
     seed: int,
     name: str,
+    profile: str = "full",
 ) -> ReplayAttacker:
     """Build a replay injector from the channel's own clean traffic.
 
@@ -261,9 +296,9 @@ def _replay_source(
     source_duration = float(params.get("source_duration", min(phase.end - phase.start, 1.0)))
     # The columnar engine records the clean window (bit-exact against
     # the event engine, without per-frame record objects).
-    clean = build_vehicle_bus(vehicle_seed=vehicle_seed, bitrate=bitrate).capture(
-        source_duration
-    )
+    clean = build_vehicle_bus(
+        vehicle_seed=vehicle_seed, bitrate=bitrate, profile=profile
+    ).capture(source_duration)
     if not len(clean):
         raise CANError(f"replay phase recorded no clean traffic in {source_duration} s")
     origin = clean.queued_at[0]
@@ -282,6 +317,7 @@ def _apply_phase(
     channel_vehicle_seed: int,
     bitrate: float,
     seed: int,
+    profile: str = "full",
 ) -> None:
     """Attach (or splice) one phase's attacker onto a channel bus.
 
@@ -305,7 +341,9 @@ def _apply_phase(
         bus.attach(RampDoSAttacker(window, seed=seed, **params))
     elif phase.kind == "replay":
         name = params.pop("name")
-        bus.attach(_replay_source(phase, channel_vehicle_seed, bitrate, seed, name))
+        bus.attach(
+            _replay_source(phase, channel_vehicle_seed, bitrate, seed, name, profile)
+        )
     elif phase.kind == "suspension":
         target_id = params.pop("target_id")
         index, victim = _find_sender(bus, target_id, phase.channel)
@@ -326,22 +364,27 @@ def compile_campaign(
     campaign: Campaign,
     vehicle_seed: int = 0,
     bitrate: float = BITRATE_HS_CAN,
+    profile: str = "full",
 ) -> dict[str, BusSimulator]:
     """Lower a campaign onto one :class:`BusSimulator` per channel.
 
-    Each channel carries the standard vehicle ID population (seeded
-    ``vehicle_seed + channel_index``, so segments are same-family but
-    distinct vehicles' worth of traffic, as in the gateway fixtures);
+    Each channel carries the vehicle ID population of ``profile``
+    (:data:`~repro.datasets.carhacking.VEHICLE_PROFILES`), seeded
+    ``vehicle_seed + channel_index`` so segments are same-family but
+    distinct vehicles' worth of traffic, as in the gateway fixtures;
     phases attach their injectors, and suspension/masquerade phases
     splice their wrapper around the victim sender in place.  Attacker
     seeds derive from the campaign name and phase position, so a
-    campaign is fully reproducible from ``(campaign, vehicle_seed)``.
+    campaign is fully reproducible from
+    ``(campaign, vehicle_seed, profile)``.
     """
     from repro.datasets.carhacking import build_vehicle_bus
 
     buses: dict[str, BusSimulator] = {}
     for index, channel in enumerate(campaign.channels):
-        buses[channel] = build_vehicle_bus(vehicle_seed=vehicle_seed + index, bitrate=bitrate)
+        buses[channel] = build_vehicle_bus(
+            vehicle_seed=vehicle_seed + index, bitrate=bitrate, profile=profile
+        )
     for position, phase in enumerate(campaign.phases):
         channel_index = campaign.channels.index(phase.channel)
         seed = derive_seed(vehicle_seed, f"campaign-{campaign.name}-phase{position}")
@@ -352,8 +395,30 @@ def compile_campaign(
             vehicle_seed + channel_index,
             bitrate,
             seed,
+            profile,
         )
     return buses
+
+
+def scenario_detector(campaign: Campaign) -> str:
+    """The trained detector matching a campaign's attack mechanics.
+
+    Walks the phases in order and returns the first kind with a trained
+    counterpart: DoS-family floods map to ``"dos"``, fuzzing to
+    ``"fuzzy"``, spoof/masquerade to the gauge they forge (``"gear"``
+    for 0x43F, ``"rpm"`` otherwise).  Replay and suspension have no
+    per-frame-signature detector — campaigns made only of those fall
+    back to ``"dos"`` and honestly read as coverage gaps in the sweep
+    table.
+    """
+    for phase in campaign.phases:
+        if phase.kind in ("dos", "burst-dos", "ramp-dos"):
+            return "dos"
+        if phase.kind == "fuzzy":
+            return "fuzzy"
+        if phase.kind in ("spoof", "masquerade"):
+            return "gear" if phase.params.get("target_id") == 0x43F else "rpm"
+    return "dos"
 
 
 # ---------------------------------------------------------------------------

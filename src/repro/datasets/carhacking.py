@@ -47,6 +47,7 @@ from repro.utils.rng import SeedSequence
 
 __all__ = [
     "VehicleIdSpec",
+    "VEHICLE_PROFILES",
     "default_vehicle",
     "build_vehicle_bus",
     "CarHackingCapture",
@@ -55,6 +56,22 @@ __all__ = [
 ]
 
 ATTACK_TYPES = ("dos", "fuzzy", "gear", "rpm")
+
+#: Vehicle topology profiles, from the full modelled ID population down
+#: to an economy vehicle carrying only the fast powertrain cluster.
+#: Profiles are strict subsets of :func:`default_vehicle`, and a sender
+#: keeps its seed derivation (keyed by CAN id) across profiles — the
+#: RPM sender of a "lite" vehicle emits exactly the frames it would on
+#: the "full" vehicle with the same ``vehicle_seed``.  Both spoofing
+#: targets (0x316 RPM, 0x43F gear) exist in every profile, so any
+#: campaign scenario compiles onto any profile.
+VEHICLE_PROFILES = ("full", "mid", "lite")
+
+#: Slow status broadcasters dropped by the "mid" profile.
+_SLOW_STATUS_IDS = frozenset({0x545, 0x587, 0x59B, 0x5A0, 0x5A2, 0x690})
+
+#: Chassis/body messages additionally dropped by the "lite" profile.
+_BODY_IDS = frozenset({0x220, 0x2C0, 0x350, 0x370, 0x440, 0x4B1, 0x4F0, 0x510})
 
 
 @dataclass(frozen=True)
@@ -66,14 +83,31 @@ class VehicleIdSpec:
     kind: str  # "counter" | "sensor" | "constant"
 
 
-def default_vehicle() -> list[VehicleIdSpec]:
+def default_vehicle(profile: str = "full") -> list[VehicleIdSpec]:
     """The modelled ID population (26 periodic identifiers).
 
     Identifiers and rate classes follow the ranges observed in the
     Car-Hacking capture: a handful of fast 10 ms powertrain messages,
     a body of 20-100 ms chassis/body messages and a few slow status
     broadcasters.
+
+    ``profile`` selects a topology subset (:data:`VEHICLE_PROFILES`):
+    ``"full"`` carries everything, ``"mid"`` drops the slow status
+    broadcasters, ``"lite"`` keeps only the fast powertrain cluster.
     """
+    if profile not in VEHICLE_PROFILES:
+        raise DatasetError(
+            f"unknown vehicle profile {profile!r}; choose from {VEHICLE_PROFILES}"
+        )
+    excluded: frozenset[int] = frozenset()
+    if profile == "mid":
+        excluded = _SLOW_STATUS_IDS
+    elif profile == "lite":
+        excluded = _SLOW_STATUS_IDS | _BODY_IDS
+    return [spec for spec in _full_vehicle() if spec.can_id not in excluded]
+
+
+def _full_vehicle() -> list[VehicleIdSpec]:
     return [
         # Fast powertrain (10 ms)
         VehicleIdSpec(0x130, 0.010, "sensor"),
@@ -136,17 +170,22 @@ def build_vehicle_bus(
     vehicle: Sequence[VehicleIdSpec] | None = None,
     vehicle_seed: int = 0,
     bitrate: float = BITRATE_HS_CAN,
+    profile: str = "full",
 ) -> BusSimulator:
     """A bus with the vehicle's periodic senders attached (no attacker).
 
     The legitimate traffic is a property of the *vehicle*: buses built
     with the same ``vehicle_seed`` carry the same payload constants and
-    sensor dynamics.  Callers (capture generation, the multi-channel
-    gateway scenario) attach their own attackers on top.
+    sensor dynamics.  ``profile`` picks the topology subset the vehicle
+    carries (:data:`VEHICLE_PROFILES`; ignored when an explicit
+    ``vehicle`` list is given) — sender seeds key on CAN id, so shared
+    ids emit identical frames across profiles.  Callers (capture
+    generation, the multi-channel gateway scenario, the fleet runner)
+    attach their own attackers on top.
     """
     vehicle_seeds = SeedSequence(vehicle_seed, scope="carhacking-vehicle")
     bus = BusSimulator(bitrate=bitrate)
-    for spec in vehicle if vehicle is not None else default_vehicle():
+    for spec in vehicle if vehicle is not None else default_vehicle(profile):
         bus.attach(
             PeriodicSender(
                 can_id=spec.can_id,

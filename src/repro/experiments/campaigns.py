@@ -16,40 +16,51 @@ deployment:
 
 **Detector choice.**  By default (``detector="auto"``) every channel of
 a scenario's gateway carries the trained QMLP matching the scenario's
-attack mechanics (:func:`scenario_detector`): DoS-family floods get the
-DoS detector, fuzzing gets the Fuzzy detector, RPM/gear spoofing and
-masquerade get the corresponding spoofing detector.  Mechanics without
-a trained counterpart (replay, suspension — their evidence is staleness
-or absence, not per-frame signatures) fall back to the DoS detector, so
-their rows read as the honest coverage gap they are.  Pass a concrete
-``detector`` name to reproduce the old single-detector coverage map.
+attack mechanics (:func:`~repro.can.campaign.scenario_detector`): DoS-
+family floods get the DoS detector, fuzzing gets the Fuzzy detector,
+RPM/gear spoofing and masquerade get the corresponding spoofing
+detector.  Mechanics without a trained counterpart (replay, suspension
+— their evidence is staleness or absence, not per-frame signatures)
+fall back to the DoS detector, so their rows read as the honest
+coverage gap they are.  Pass a concrete ``detector`` name to reproduce
+the old single-detector coverage map.
 
 **Execution.**  Scenarios are independent, so the sweep fans them out
-over a pool: ``backend="thread"`` (default) shares one compiled engine
-and relies on numpy's GIL-released kernels; ``backend="process"``
-ships the (picklable) compiled IPs to worker processes once, via the
-pool initializer, and scales past the GIL on multi-core hosts.  Both
-backends derive every seed from the scenario's registry index, so
-results are order-stable and identical to the serial loop.  Bus windows
-run on the columnar arbitration kernel by default (``engine=``, see
-:mod:`repro.can.fastbus`).
+over the shared shard machinery (:mod:`repro.fleet.pool`) configured by
+an :class:`~repro.fleet.spec.ExecOptions` — the same run-spec the fleet
+runner takes.  ``backend="auto"`` (default) picks process fan-out on
+multi-core hosts (picklable IPs shipped once via the pool initializer)
+and threads elsewhere; every seed derives from the scenario's registry
+index, so results are order-stable and identical to the serial loop.
+The resolved backend and engine are recorded on the result.  The old
+loose keyword arguments (``fifo_capacity=``, ``backend=``, ...) still
+work through a deprecation shim that forwards them into an
+:class:`~repro.fleet.spec.ExecOptions` and warns once.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
-from typing import Sequence
+import warnings
+from dataclasses import dataclass, field
+from typing import Any, Sequence
 
 import numpy as np
 
-from repro.can.campaign import SCENARIOS, Campaign, ScenarioRegistry, compile_campaign
+from repro.can.campaign import (
+    SCENARIOS,
+    Campaign,
+    ScenarioRegistry,
+    compile_campaign,
+    scenario_detector,
+)
 from repro.errors import ConfigError
 from repro.experiments.context import ExperimentContext
 from repro.finn.compiled import engine_for
+from repro.fleet.pool import run_sharded, warm_engines, worker_state
+from repro.fleet.spec import ExecOptions
 from repro.soc.arbiter import SharedAcceleratorArbiter
-from repro.soc.gateway import ENGINES, GatewayReport, gateway_from_buses
+from repro.soc.gateway import GatewayReport, gateway_from_buses
 from repro.utils.rng import derive_seed
 from repro.utils.tables import Table
 
@@ -65,29 +76,10 @@ __all__ = [
 #: Gateway deployments each scenario is swept through.
 SWEEP_MODES = ("per-ip", "shared-ip")
 
-#: Supported scenario fan-out backends.
+#: Concrete scenario fan-out backends (kept for compatibility; the
+#: canonical list, including ``"auto"``, is
+#: :data:`repro.fleet.spec.EXEC_BACKENDS`).
 SWEEP_BACKENDS = ("thread", "process")
-
-
-def scenario_detector(campaign: Campaign) -> str:
-    """The trained detector matching a campaign's attack mechanics.
-
-    Walks the phases in order and returns the first kind with a trained
-    counterpart in the experiment context: DoS-family floods map to
-    ``"dos"``, fuzzing to ``"fuzzy"``, spoof/masquerade to the gauge
-    they forge (``"gear"`` for 0x43F, ``"rpm"`` otherwise).  Replay and
-    suspension have no per-frame-signature detector — campaigns made
-    only of those fall back to ``"dos"`` and honestly read as coverage
-    gaps in the sweep table.
-    """
-    for phase in campaign.phases:
-        if phase.kind in ("dos", "burst-dos", "ramp-dos"):
-            return "dos"
-        if phase.kind == "fuzzy":
-            return "fuzzy"
-        if phase.kind in ("spoof", "masquerade"):
-            return "gear" if phase.params.get("target_id") == 0x43F else "rpm"
-    return "dos"
 
 
 @dataclass(frozen=True)
@@ -157,11 +149,21 @@ class ScenarioRun:
 
 @dataclass
 class CampaignSweepResult:
-    """Every registered scenario through every gateway deployment."""
+    """Every registered scenario through every gateway deployment.
+
+    ``backend`` and ``engine`` record what the sweep actually ran with
+    (the backend is the resolved one — never ``"auto"``), so serialised
+    artifacts say how they were produced.
+    """
 
     runs: list[ScenarioRun]
     duration: float
     detector: str  #: detector policy ("auto" = matched per scenario)
+    backend: str = "thread"  #: resolved pool backend the sweep ran on
+    engine: str = "columnar"  #: bus-simulation engine the sweep used
+    _index: dict[tuple[str, str], ScenarioRun] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     def scenario_names(self) -> list[str]:
         names: list[str] = []
@@ -171,10 +173,16 @@ class CampaignSweepResult:
         return names
 
     def run(self, scenario: str, mode: str) -> ScenarioRun:
-        for candidate in self.runs:
-            if candidate.scenario == scenario and candidate.mode == mode:
-                return candidate
-        raise ConfigError(f"no sweep run for scenario {scenario!r} in mode {mode!r}")
+        """Look one run up by ``(scenario, mode)`` — indexed, not scanned."""
+        if len(self._index) != len(self.runs):
+            self._index.clear()
+            self._index.update({(r.scenario, r.mode): r for r in self.runs})
+        try:
+            return self._index[(scenario, mode)]
+        except KeyError:
+            raise ConfigError(
+                f"no sweep run for scenario {scenario!r} in mode {mode!r}"
+            ) from None
 
     def detectors(self) -> dict[str, str]:
         """``{scenario: detector}`` actually deployed per scenario."""
@@ -274,28 +282,50 @@ def _sweep_one_scenario(ip, task: _SweepTask, config: _SweepConfig) -> list[Scen
     return scenario_runs
 
 
-#: Per-process worker state: installed once by the pool initializer so
-#: every task in that process reuses the unpickled IPs and their
-#: compiled engines instead of re-shipping them per task.
-_WORKER_STATE: dict = {}
-
-
-def _process_worker_init(ips: dict, config: _SweepConfig) -> None:
-    for ip in ips.values():
-        engine_for(ip)  # compile once per process, before any task runs
-    _WORKER_STATE["ips"] = ips
-    _WORKER_STATE["config"] = config
-
-
-def _process_worker_run(task: _SweepTask) -> list[ScenarioRun]:
-    return _sweep_one_scenario(
-        _WORKER_STATE["ips"][task.detector], task, _WORKER_STATE["config"]
-    )
+def _sweep_worker(task: _SweepTask) -> list[ScenarioRun]:
+    """Pool entry point: pulls the shipped IPs/config from worker state."""
+    state = worker_state()
+    return _sweep_one_scenario(state["ips"][task.detector], task, state["config"])
 
 
 def default_sweep_workers(num_scenarios: int) -> int:
     """The default worker count for :func:`run_campaign_sweep`."""
     return max(1, min(8, os.cpu_count() or 1, num_scenarios))
+
+
+#: One-shot flag for the loose-kwargs deprecation warning.
+_LOOSE_KWARGS_WARNED = False
+
+
+def _coerce_options(
+    options: ExecOptions | None,
+    loose: dict[str, Any],
+) -> ExecOptions:
+    """Fold the pre-:class:`ExecOptions` keyword arguments into one.
+
+    The old signature's knobs keep working — they forward into an
+    :class:`ExecOptions` and warn once per process — but mixing them
+    with an explicit ``options`` is ambiguous and rejected.
+    """
+    global _LOOSE_KWARGS_WARNED
+    supplied = {key: value for key, value in loose.items() if value is not None}
+    if not supplied:
+        return options if options is not None else ExecOptions()
+    if options is not None:
+        raise ConfigError(
+            f"pass execution knobs via options=ExecOptions(...) or the legacy "
+            f"keywords, not both (got options and {sorted(supplied)})"
+        )
+    if not _LOOSE_KWARGS_WARNED:
+        warnings.warn(
+            "run_campaign_sweep's loose execution keywords "
+            "(fifo_capacity/chunk_size/max_workers/backend/engine) are "
+            "deprecated; pass options=ExecOptions(...) instead",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        _LOOSE_KWARGS_WARNED = True
+    return ExecOptions(**supplied)
 
 
 def run_campaign_sweep(
@@ -304,45 +334,60 @@ def run_campaign_sweep(
     registry: ScenarioRegistry = SCENARIOS,
     duration: float | None = None,
     detector: str = "auto",
-    fifo_capacity: int = 64,
-    chunk_size: int = 4096,
+    options: ExecOptions | None = None,
+    *,
+    fifo_capacity: int | None = None,
+    chunk_size: int | None = None,
     max_workers: int | None = None,
-    backend: str = "thread",
-    engine: str = "columnar",
+    backend: str | None = None,
+    engine: str | None = None,
 ) -> CampaignSweepResult:
     """Drive every registered scenario through both gateway deployments.
 
-    ``scenarios`` restricts the sweep (default: the full registry);
-    ``duration`` rescales every campaign (default: each scenario's own).
-    ``detector`` is ``"auto"`` (each scenario gets its matching trained
-    QMLP — see :func:`scenario_detector`) or a concrete attack name
-    deployed on every channel of every scenario.
+    ``scenarios`` restricts the sweep (default: the full registry; an
+    empty list returns a well-formed empty result without training
+    detectors or spinning up a pool); ``duration`` rescales every
+    campaign (default: each scenario's own).  ``detector`` is ``"auto"``
+    (each scenario gets its matching trained QMLP — see
+    :func:`~repro.can.campaign.scenario_detector`) or a concrete attack
+    name deployed on every channel of every scenario.
 
-    Scenarios are independent — each builds its own buses, gateways and
-    ECUs from scenario-indexed seeds — so the sweep fans them out over
-    ``max_workers`` workers (default :func:`default_sweep_workers`; 1
-    forces the serial loop).  ``backend="thread"`` shares the compiled
-    engine within one process (numpy kernels release the GIL);
-    ``backend="process"`` ships the picklable IPs to worker processes
-    via the pool initializer and scales past the GIL.  Results are
-    deterministic, identical across backends and worker counts, and
-    ordered by the requested scenario list.  ``engine`` picks the bus
-    simulation path per channel window (columnar kernel by default,
-    ``"event"`` for the reference loop).
+    Execution is configured by ``options``
+    (:class:`~repro.fleet.spec.ExecOptions` — the same run-spec
+    :func:`repro.fleet.runner.run_fleet` takes): scenarios are
+    independent, each builds its own buses, gateways and ECUs from
+    scenario-indexed seeds, so the sweep fans them out over the resolved
+    backend and stays deterministic — identical across backends and
+    worker counts, ordered by the requested scenario list.  The trailing
+    keyword arguments are the deprecated loose form of the same knobs;
+    they forward into an ``ExecOptions`` and warn once.
     """
-    if max_workers is not None and max_workers < 1:
-        raise ConfigError(f"max_workers must be >= 1, got {max_workers}")
-    if backend not in SWEEP_BACKENDS:
-        raise ConfigError(f"unknown backend {backend!r}; choose from {SWEEP_BACKENDS}")
-    if engine not in ENGINES:
-        raise ConfigError(f"unknown engine {engine!r}; choose from {ENGINES}")
+    exec_options = _coerce_options(
+        options,
+        {
+            "fifo_capacity": fifo_capacity,
+            "chunk_size": chunk_size,
+            "max_workers": max_workers,
+            "backend": backend,
+            "engine": engine,
+        },
+    )
+    resolved = exec_options.resolved()
     names = list(scenarios) if scenarios is not None else registry.names()
+    if not names:
+        return CampaignSweepResult(
+            runs=[],
+            duration=0.0,
+            detector=detector,
+            backend=resolved.backend,
+            engine=resolved.engine,
+        )
     descriptions = registry.describe()
     config = _SweepConfig(
         seed=derive_seed(context.settings.seed, "campaign-sweep"),
-        fifo_capacity=fifo_capacity,
-        chunk_size=chunk_size,
-        engine=engine,
+        fifo_capacity=resolved.fifo_capacity,
+        chunk_size=resolved.chunk_size,
+        engine=resolved.engine,
     )
 
     tasks: list[_SweepTask] = []
@@ -362,30 +407,24 @@ def run_campaign_sweep(
     for ip in ips.values():
         engine_for(ip)
 
-    workers = max_workers if max_workers is not None else default_sweep_workers(len(names))
-    if workers > 1 and len(tasks) > 1 and backend == "process":
-        with ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_process_worker_init,
-            initargs=(ips, config),
-        ) as pool:
-            outcomes = list(pool.map(_process_worker_run, tasks))
-    elif workers > 1 and len(tasks) > 1:
-        with ThreadPoolExecutor(
-            max_workers=workers, thread_name_prefix="campaign-sweep"
-        ) as pool:
-            outcomes = list(
-                pool.map(
-                    lambda task: _sweep_one_scenario(ips[task.detector], task, config),
-                    tasks,
-                )
-            )
-    else:
-        outcomes = [_sweep_one_scenario(ips[task.detector], task, config) for task in tasks]
+    workers = resolved.workers_for(len(tasks))
+    outcomes = run_sharded(
+        tasks,
+        _sweep_worker,
+        {"ips": ips, "config": config, "warmup": warm_engines},
+        resolved.backend,
+        workers,
+    )
 
     runs = [run for scenario_runs in outcomes for run in scenario_runs]
     total_duration = sum(task.campaign.duration for task in tasks)
-    return CampaignSweepResult(runs=runs, duration=total_duration, detector=detector)
+    return CampaignSweepResult(
+        runs=runs,
+        duration=total_duration,
+        detector=detector,
+        backend=resolved.backend,
+        engine=resolved.engine,
+    )
 
 
 def render_campaign_sweep(result: CampaignSweepResult) -> Table:

@@ -1,0 +1,52 @@
+"""Fleet-scale campaign service: simulate thousands of vehicles at once.
+
+The unified run-spec API over the campaign/gateway stack:
+
+* :mod:`repro.fleet.spec` — :class:`VehicleSpec` / :class:`FleetSpec`
+  (what to simulate) and :class:`ExecOptions` (how to execute it),
+  shared with :func:`repro.experiments.campaigns.run_campaign_sweep`;
+* :mod:`repro.fleet.aggregate` — streaming, mergeable counters whose
+  ``merge`` is associative and commutative, so shard order never shows;
+* :mod:`repro.fleet.pool` — the shared shard-execution machinery
+  (process/thread/serial, state shipped once per worker);
+* :mod:`repro.fleet.runner` — :func:`run_fleet`, the one-call entry
+  point.
+"""
+
+from repro.fleet.aggregate import (
+    DROP_BIN_EDGES,
+    LATENCY_BIN_EDGES,
+    FleetAggregate,
+    FleetSlice,
+    drop_histogram,
+    latency_histogram,
+)
+from repro.fleet.pool import run_sharded, warm_engines, worker_state
+from repro.fleet.runner import FleetResult, fleet_detectors, run_fleet
+from repro.fleet.spec import (
+    DEPLOYMENTS,
+    EXEC_BACKENDS,
+    ExecOptions,
+    FleetSpec,
+    VehicleSpec,
+)
+
+__all__ = [
+    "DEPLOYMENTS",
+    "DROP_BIN_EDGES",
+    "EXEC_BACKENDS",
+    "LATENCY_BIN_EDGES",
+    "ExecOptions",
+    "FleetAggregate",
+    "FleetResult",
+    "FleetSlice",
+    "FleetSpec",
+    "VehicleSpec",
+    "drop_histogram",
+    "fleet_detectors",
+    "latency_histogram",
+    "run_fleet",
+    "run_sharded",
+    "warm_engines",
+    "worker_state",
+]

@@ -1,0 +1,241 @@
+"""Streaming, mergeable fleet statistics: counters, never captures.
+
+A fleet run folds every vehicle's gateway report into a
+:class:`FleetSlice` the moment the vehicle finishes, then discards the
+report — the aggregate holds detection-rate counters and fixed-bin
+histograms only, so peak memory is bounded by one in-flight vehicle per
+worker, never by fleet size or frame count.
+
+Merging is exact and order-free: every field is an additive counter
+(ints and fixed-bin count tuples), so ``merge`` is associative and
+commutative by construction — the property the shard reducer relies on
+to produce bit-identical aggregates for any shard count, worker count
+or backend.  Histogram *bins* are module constants: two slices are only
+mergeable because they bucketed against the same edges.
+
+Value semantics throughout: slices and aggregates are frozen
+dataclasses over plain ints, tuples and dicts, so they pickle cheaply
+across process pools and compare with ``==`` in tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigError
+
+__all__ = [
+    "DROP_BIN_EDGES",
+    "LATENCY_BIN_EDGES",
+    "FleetAggregate",
+    "FleetSlice",
+    "drop_histogram",
+    "latency_histogram",
+]
+
+#: Detection-latency histogram bin edges (seconds): an underflow bin
+#: below 100 us, 20 log-spaced bins to 10 s, and an overflow bin.
+#: Fixed across the project so any two slices merge bin-for-bin.
+LATENCY_BIN_EDGES: tuple[float, ...] = (
+    0.0,
+    *(float(edge) for edge in np.logspace(-4, 1, 21)),
+    float("inf"),
+)
+
+#: Per-vehicle RX-FIFO drop-rate histogram bin edges (fraction 0..1).
+DROP_BIN_EDGES: tuple[float, ...] = tuple(
+    float(edge) for edge in np.linspace(0.0, 1.0, 21)
+)
+
+_LATENCY_BINS = len(LATENCY_BIN_EDGES) - 1
+_DROP_BINS = len(DROP_BIN_EDGES) - 1
+
+
+def latency_histogram(latencies_s: Iterable[float]) -> tuple[int, ...]:
+    """Bucket detection latencies (seconds) against the fixed edges."""
+    values = np.asarray(list(latencies_s), dtype=np.float64)
+    if not len(values):
+        return (0,) * _LATENCY_BINS
+    counts, _ = np.histogram(values, bins=np.asarray(LATENCY_BIN_EDGES))
+    return tuple(int(count) for count in counts)
+
+
+def drop_histogram(drop_rate: float) -> tuple[int, ...]:
+    """Bucket one vehicle's drop rate (fraction) against the fixed edges."""
+    counts, _ = np.histogram(
+        np.asarray([drop_rate], dtype=np.float64), bins=np.asarray(DROP_BIN_EDGES)
+    )
+    return tuple(int(count) for count in counts)
+
+
+def _add(left: tuple[int, ...], right: tuple[int, ...]) -> tuple[int, ...]:
+    return tuple(a + b for a, b in zip(left, right))
+
+
+@dataclass(frozen=True)
+class FleetSlice:
+    """Additive counters for one rollup bucket (a scenario, a deployment,
+    the whole fleet...).
+
+    ``latency_hist`` buckets every detected phase's first-alert latency
+    against :data:`LATENCY_BIN_EDGES`; ``drop_hist`` buckets each
+    vehicle's overall RX-FIFO drop rate against :data:`DROP_BIN_EDGES`.
+    """
+
+    vehicles: int = 0
+    channels: int = 0
+    frames_offered: int = 0
+    frames_processed: int = 0
+    frames_dropped: int = 0
+    alerts: int = 0
+    phases_total: int = 0
+    phases_injecting: int = 0
+    phases_detected: int = 0
+    latency_hist: tuple[int, ...] = (0,) * _LATENCY_BINS
+    drop_hist: tuple[int, ...] = (0,) * _DROP_BINS
+
+    def __post_init__(self) -> None:
+        if len(self.latency_hist) != _LATENCY_BINS:
+            raise ConfigError(
+                f"latency_hist needs {_LATENCY_BINS} bins, got {len(self.latency_hist)}"
+            )
+        if len(self.drop_hist) != _DROP_BINS:
+            raise ConfigError(
+                f"drop_hist needs {_DROP_BINS} bins, got {len(self.drop_hist)}"
+            )
+
+    def merge(self, other: "FleetSlice") -> "FleetSlice":
+        """Elementwise sum — associative, commutative, identity-friendly."""
+        return FleetSlice(
+            vehicles=self.vehicles + other.vehicles,
+            channels=self.channels + other.channels,
+            frames_offered=self.frames_offered + other.frames_offered,
+            frames_processed=self.frames_processed + other.frames_processed,
+            frames_dropped=self.frames_dropped + other.frames_dropped,
+            alerts=self.alerts + other.alerts,
+            phases_total=self.phases_total + other.phases_total,
+            phases_injecting=self.phases_injecting + other.phases_injecting,
+            phases_detected=self.phases_detected + other.phases_detected,
+            latency_hist=_add(self.latency_hist, other.latency_hist),
+            drop_hist=_add(self.drop_hist, other.drop_hist),
+        )
+
+    @property
+    def detection_rate(self) -> float:
+        """Fraction of frame-injecting phases with at least one true alert."""
+        if self.phases_injecting == 0:
+            return 0.0
+        return self.phases_detected / self.phases_injecting
+
+    @property
+    def drop_rate(self) -> float:
+        """Fraction of offered frames lost to RX-FIFO overflow, fleet-wide."""
+        if self.frames_offered == 0:
+            return 0.0
+        return self.frames_dropped / self.frames_offered
+
+    def latency_quantile_s(self, q: float) -> float | None:
+        """Upper bin edge bounding the ``q``-quantile detection latency.
+
+        Conservative by construction (a histogram cannot reconstruct
+        exact order statistics): the returned edge is an upper bound on
+        the true quantile.  ``None`` when no phase was detected.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ConfigError(f"quantile must be in [0, 1], got {q}")
+        total = sum(self.latency_hist)
+        if total == 0:
+            return None
+        target = q * total
+        cumulative = 0
+        for position, count in enumerate(self.latency_hist):
+            cumulative += count
+            if cumulative >= target:
+                return LATENCY_BIN_EDGES[position + 1]
+        return LATENCY_BIN_EDGES[-1]
+
+
+@dataclass(frozen=True)
+class FleetAggregate:
+    """The whole fleet's counters, with per-scenario and per-deployment
+    rollups.
+
+    ``merge`` unions the rollup keys and adds the slices; the identity
+    is :meth:`empty`.  Keys are sorted when dictionaries are rebuilt, so
+    equal aggregates have equal reprs regardless of merge order.
+    """
+
+    total: FleetSlice = field(default_factory=FleetSlice)
+    by_scenario: Mapping[str, FleetSlice] = field(default_factory=dict)
+    by_deployment: Mapping[str, FleetSlice] = field(default_factory=dict)
+
+    @classmethod
+    def empty(cls) -> "FleetAggregate":
+        return cls()
+
+    @classmethod
+    def of_vehicle(
+        cls, scenario: str, deployment: str, counters: FleetSlice
+    ) -> "FleetAggregate":
+        """Lift one vehicle's counters into a mergeable aggregate."""
+        return cls(
+            total=counters,
+            by_scenario={scenario: counters},
+            by_deployment={deployment: counters},
+        )
+
+    def merge(self, other: "FleetAggregate") -> "FleetAggregate":
+        return FleetAggregate(
+            total=self.total.merge(other.total),
+            by_scenario=_merge_rollup(self.by_scenario, other.by_scenario),
+            by_deployment=_merge_rollup(self.by_deployment, other.by_deployment),
+        )
+
+    def summary(self) -> str:
+        """A terse human-readable digest of the fleet's outcome."""
+        total = self.total
+        p50 = total.latency_quantile_s(0.5)
+        p99 = total.latency_quantile_s(0.99)
+        lines = [
+            f"fleet: {total.vehicles} vehicles, {total.channels} channels, "
+            f"{total.frames_offered:,} frames offered",
+            f"  inspected {total.frames_processed:,}, dropped "
+            f"{total.frames_dropped:,} ({100.0 * total.drop_rate:.2f}%), "
+            f"{total.alerts:,} alerts",
+            f"  phases: {total.phases_detected}/{total.phases_injecting} "
+            f"injecting phases detected "
+            f"({100.0 * total.detection_rate:.1f}%)"
+            + (
+                f", detection latency p50 <= {1e3 * p50:.1f} ms"
+                f" / p99 <= {1e3 * p99:.1f} ms"
+                if p50 is not None and p99 is not None
+                else ""
+            ),
+        ]
+        for title, rollup in (
+            ("scenario", self.by_scenario),
+            ("deployment", self.by_deployment),
+        ):
+            for key in sorted(rollup):
+                piece = rollup[key]
+                lines.append(
+                    f"  [{title}: {key}] {piece.vehicles} vehicles, "
+                    f"detection {100.0 * piece.detection_rate:.1f}%, "
+                    f"drop {100.0 * piece.drop_rate:.2f}%"
+                )
+        return "\n".join(lines)
+
+
+def _merge_rollup(
+    left: Mapping[str, FleetSlice], right: Mapping[str, FleetSlice]
+) -> dict[str, FleetSlice]:
+    merged: dict[str, FleetSlice] = {}
+    for key in sorted(set(left) | set(right)):
+        if key in left and key in right:
+            merged[key] = left[key].merge(right[key])
+        else:
+            merged[key] = left[key] if key in left else right[key]
+    return merged

@@ -1,0 +1,102 @@
+"""Shared shard-execution machinery for every fan-out entry point.
+
+The campaign sweep (PR 5) grew a process-pool pattern worth keeping:
+picklable task dataclasses, heavyweight shared state (trained detector
+IPs) shipped *once* per worker process via the pool initializer, and
+order-stable results whose seeds derive from task identity, never from
+execution order.  This module extracts that pattern so the fleet runner
+and the campaign sweep run on one implementation:
+
+* :func:`run_sharded` fans a task list over the chosen backend —
+  ``"process"`` (one :class:`~concurrent.futures.ProcessPoolExecutor`,
+  state pickled once per worker), ``"thread"`` (numpy kernels release
+  the GIL), or serially when the pool would be overhead;
+* :func:`worker_state` gives workers access to the installed state from
+  any backend — in-process backends install it directly, process
+  workers receive it through the initializer;
+* :func:`warm_engines` is the standard warmup hook: compile every
+  shipped detector IP once per process, before the first task runs.
+
+Worker callables and warmup hooks MUST be module-top-level functions
+(the ``pickle-safety`` lint rule's contract): the process backend
+pickles them by reference.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Callable, Sequence
+
+__all__ = ["run_sharded", "warm_engines", "worker_state"]
+
+#: Per-process worker state: installed by :func:`_install_worker_state`
+#: (directly for serial/thread runs, via the pool initializer for
+#: process runs) so every task in a process reuses the shipped state.
+_WORKER_STATE: dict[str, Any] = {}
+
+
+def worker_state() -> dict[str, Any]:
+    """The state installed for the current run (see :func:`run_sharded`)."""
+    return _WORKER_STATE
+
+
+def warm_engines(state: dict[str, Any]) -> None:
+    """Compile every shipped detector IP once, before any task runs."""
+    from repro.finn.compiled import engine_for
+
+    for ip in state.get("ips", {}).values():
+        engine_for(ip)
+
+
+def _install_worker_state(state: dict[str, Any]) -> None:
+    """Install ``state`` for this process and run its warmup hook."""
+    _WORKER_STATE.clear()
+    _WORKER_STATE.update(state)
+    warmup = state.get("warmup")
+    if warmup is not None:
+        warmup(state)
+
+
+def run_sharded(
+    tasks: Sequence[Any],
+    worker: Callable[[Any], Any],
+    state: dict[str, Any],
+    backend: str,
+    max_workers: int,
+) -> list[Any]:
+    """Run ``worker`` over ``tasks``, returning results in task order.
+
+    ``worker`` must be a module-top-level callable reading its shared
+    inputs from :func:`worker_state`; ``state`` is installed before any
+    task runs (in-process for serial/thread backends, via the pool
+    initializer — pickled once per worker — for the process backend).
+    A ``state["warmup"]`` entry, if present, is called with the state
+    after installation; :func:`warm_engines` is the standard hook.
+
+    ``backend`` must already be resolved (``"thread"``/``"process"``,
+    never ``"auto"`` — see
+    :meth:`~repro.fleet.spec.ExecOptions.resolve_backend`).  A single
+    task or a single worker always runs serially: no pool is spun up
+    for work that cannot use one.
+    """
+    ordered = list(tasks)
+    if not ordered:
+        return []
+    if backend == "process" and max_workers > 1 and len(ordered) > 1:
+        with ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=_install_worker_state,
+            initargs=(state,),
+        ) as pool:
+            # The worker is this helper's parameter, not a local def: the
+            # contract (module-top-level callables only) is documented
+            # above and held by every caller; the checker cannot see
+            # through the indirection.
+            return list(pool.map(worker, ordered))  # reprolint: disable=pickle-safety -- worker is a caller-supplied module-level callable (documented contract)
+    _install_worker_state(state)
+    if max_workers > 1 and len(ordered) > 1:
+        with ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="repro-shard"
+        ) as pool:
+            return list(pool.map(worker, ordered))
+    return [worker(task) for task in ordered]

@@ -644,21 +644,24 @@ def build_campaign_gateway(
     fifo_capacity: int = 64,
     encoder=None,
     name: str | None = None,
+    profile: str = "full",
 ) -> IDSGateway:
     """A gateway with one IDS-ECU per channel of a compiled campaign.
 
     Compiles ``campaign`` (a :class:`repro.can.campaign.Campaign`) onto
-    per-channel buses and pairs each with a fresh
-    :class:`~repro.soc.ecu.IDSEnabledECU` carrying ``ip``.  Run it with
-    ``gateway.monitor(duration=campaign.duration,
+    per-channel buses — each carrying the vehicle topology ``profile``
+    (:data:`~repro.datasets.carhacking.VEHICLE_PROFILES`) — and pairs
+    each with a fresh :class:`~repro.soc.ecu.IDSEnabledECU` carrying
+    ``ip``.  Run it with ``gateway.monitor(duration=campaign.duration,
     truth=campaign.truth_windows())`` to get campaign-aware per-phase
-    verdicts on every channel.
+    verdicts on every channel.  This is the fleet runner's per-vehicle
+    construction path: one call builds one vehicle's gateway.
     """
     from repro.can.campaign import compile_campaign
 
     return gateway_from_buses(
         ip,
-        compile_campaign(campaign, vehicle_seed=vehicle_seed),
+        compile_campaign(campaign, vehicle_seed=vehicle_seed, profile=profile),
         ecu_seed=ecu_seed,
         fifo_capacity=fifo_capacity,
         encoder=encoder,

@@ -91,5 +91,18 @@ class SeedSequence:
         """Return a sub-scope, e.g. per-experiment or per-trial."""
         return SeedSequence(self.master_seed, self._qualify(name))
 
+    def indexed(self, name: str, index: int) -> "SeedSequence":
+        """Return the ``index``-th sub-scope of a named family.
+
+        The fleet primitive: ``seeds.indexed("vehicle", i)`` gives every
+        member of an arbitrarily large population its own independent
+        scope, derivable from the index alone — no state accumulates, so
+        any shard can re-derive any member's streams without having seen
+        the members before it.
+        """
+        if index < 0:
+            raise ConfigError(f"scope index must be >= 0, got {index}")
+        return self.child(f"{name}[{index}]")
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"SeedSequence(master_seed={self.master_seed}, scope={self.scope!r})"

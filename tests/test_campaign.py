@@ -35,6 +35,7 @@ from repro.can.frame import CANFrame
 from repro.can.node import PeriodicSender, counter_payload
 from repro.errors import CANError, ConfigError, SoCError
 from repro.experiments.campaigns import render_campaign_sweep, run_campaign_sweep
+from repro.fleet import ExecOptions
 from repro.soc.gateway import build_campaign_gateway
 
 
@@ -400,10 +401,16 @@ class TestCampaignGateway:
         """Thread-pooled sweep: same seeds, same verdicts, same order."""
         names = ["baseline-dos", "overlapping-mixed"]
         serial = run_campaign_sweep(
-            experiment_context, scenarios=names, duration=1.0, max_workers=1
+            experiment_context,
+            scenarios=names,
+            duration=1.0,
+            options=ExecOptions(backend="thread", max_workers=1),
         )
         parallel = run_campaign_sweep(
-            experiment_context, scenarios=names, duration=1.0, max_workers=2
+            experiment_context,
+            scenarios=names,
+            duration=1.0,
+            options=ExecOptions(backend="thread", max_workers=2),
         )
         assert [(r.scenario, r.mode) for r in serial.runs] == [
             (r.scenario, r.mode) for r in parallel.runs
@@ -425,5 +432,7 @@ class TestCampaignGateway:
     def test_invalid_worker_count_rejected(self, experiment_context):
         with pytest.raises(ConfigError):
             run_campaign_sweep(
-                experiment_context, scenarios=["baseline-dos"], max_workers=0
+                experiment_context,
+                scenarios=["baseline-dos"],
+                options=ExecOptions(max_workers=0),
             )

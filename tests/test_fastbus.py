@@ -47,6 +47,7 @@ from repro.experiments.campaigns import (
     run_campaign_sweep,
     scenario_detector,
 )
+from repro.fleet import ExecOptions
 from repro.soc.gateway import build_campaign_gateway
 
 
@@ -390,15 +391,18 @@ class TestProcessBackend:
     def test_process_backend_matches_thread_backend(self, experiment_context):
         names = ["baseline-dos", "stealth-low-rate"]
         threaded = run_campaign_sweep(
-            experiment_context, scenarios=names, duration=0.8, max_workers=2
+            experiment_context,
+            scenarios=names,
+            duration=0.8,
+            options=ExecOptions(backend="thread", max_workers=2),
         )
         processed = run_campaign_sweep(
             experiment_context,
             scenarios=names,
             duration=0.8,
-            max_workers=2,
-            backend="process",
+            options=ExecOptions(backend="process", max_workers=2),
         )
+        assert threaded.backend == "thread" and processed.backend == "process"
         assert [(r.scenario, r.mode) for r in threaded.runs] == [
             (r.scenario, r.mode) for r in processed.runs
         ]
@@ -445,6 +449,7 @@ class TestProcessBackend:
                 np.testing.assert_array_equal(a.report.predictions, b.report.predictions)
 
     def test_unknown_backend_rejected(self, experiment_context):
+        """The deprecation shim still validates what it forwards."""
         with pytest.raises(Exception, match="unknown backend"):
             run_campaign_sweep(
                 experiment_context, scenarios=["baseline-dos"], backend="fiber"
@@ -466,7 +471,7 @@ class TestDetectorMatching:
             experiment_context,
             scenarios=["baseline-fuzzy"],
             duration=0.8,
-            max_workers=1,
+            options=ExecOptions(max_workers=1),
         )
         assert result.detector == "auto"
         assert result.detectors() == {"baseline-fuzzy": "fuzzy"}

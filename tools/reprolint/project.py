@@ -89,6 +89,10 @@ class LintConfig:
         "src/repro/can/fastbus.py",
         "src/repro/utils/rng.py",
         "src/repro/finn/compiled.py",
+        "src/repro/fleet/spec.py",
+        "src/repro/fleet/aggregate.py",
+        "src/repro/fleet/pool.py",
+        "src/repro/fleet/runner.py",
     )
     #: A/B switch parameter -> the pair of values tests must exercise.
     ab_required: Mapping[str, tuple[object, ...]] = field(
