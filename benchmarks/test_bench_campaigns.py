@@ -64,6 +64,7 @@ def test_bench_campaign_sweep(sweep_context):
     table = render_campaign_sweep(result)
 
     # Structural invariants the sweep must keep as the catalogue grows.
+    assert result.health.ok  # every scenario completed
     assert len(result.scenario_names()) >= 10
     assert len(result.runs) == 2 * len(result.scenario_names())
     for run in result.runs:
@@ -91,6 +92,13 @@ def test_bench_campaign_sweep(sweep_context):
         # mechanics; the per-scenario map records which one that was.
         "detector": result.detector,
         "detectors": result.detectors(),
+        # Resilience configuration and what the run survived ("health"
+        # counters carry no gating markers, so they never join the
+        # cross-run comparison).
+        "timeout_s": result.options.timeout_s if result.options else None,
+        "max_retries": result.options.max_retries if result.options else None,
+        "strict": result.options.strict if result.options else None,
+        "health": result.health.as_record(),
         "sustained_fps": {
             f"{run.scenario}/{run.mode}": round(run.report.aggregate_sustained_fps, 1)
             for run in result.runs

@@ -33,6 +33,14 @@ FLEET_SIZE = 12 if SMOKE else 1000
 #: Vehicles per shard task (the memory bound: peak RSS is O(shard)).
 SHARD_SIZE = 4 if SMOKE else 50
 
+#: The committed PR 8 throughput on this trajectory's machine — the
+#: last bare ``pool.map`` scheduler, before the fault-tolerance layer.
+#: The happy path through the submit/wait scheduler (timeouts armed,
+#: retries available, zero faults) must stay within a few percent of
+#: it; the smoke lane's sub-second run gets a wide noise allowance.
+PR8_BASELINE_VPS = 109.51 if SMOKE else 122.95
+MAX_OVERHEAD_PCT = 25.0 if SMOKE else 5.0
+
 
 def test_bench_fleet():
     settings = (
@@ -74,6 +82,17 @@ def test_bench_fleet():
     assert total.phases_injecting >= FLEET_SIZE  # every scenario injects
     assert 0.0 < total.detection_rate <= 1.0
     assert sum(s.vehicles for s in result.aggregate.by_scenario.values()) == FLEET_SIZE
+    assert result.health.ok and result.health.retries == 0  # happy path
+
+    vehicles_per_sec = FLEET_SIZE / wall_s
+    # Fault-tolerance overhead: the scheduler's happy path vs the PR 8
+    # bare-map baseline.  Negative means this run was faster.
+    overhead_pct = 100.0 * (1.0 - vehicles_per_sec / PR8_BASELINE_VPS)
+    assert overhead_pct < MAX_OVERHEAD_PCT, (
+        f"fault-tolerant scheduler happy path costs {overhead_pct:.1f}% "
+        f"vs the PR 8 baseline ({PR8_BASELINE_VPS} vehicles/s); "
+        f"budget is {MAX_OVERHEAD_PCT}%"
+    )
 
     simulated_s = FLEET_SIZE * DURATION
     payload = {
@@ -86,7 +105,17 @@ def test_bench_fleet():
         "backend": result.backend,
         "engine": result.engine,
         "wall_seconds": round(wall_s, 3),
-        "vehicles_per_sec": round(FLEET_SIZE / wall_s, 2),
+        "vehicles_per_sec": round(vehicles_per_sec, 2),
+        # Happy-path cost of the fault-tolerance layer ("overhead" keys
+        # are excluded from cross-run gating; the hard budget is the
+        # assert above).
+        "fault_tolerance_overhead_pct": round(overhead_pct, 1),
+        # Resilience configuration the run executed under.
+        "timeout_s": result.options.timeout_s,
+        "max_retries": result.options.max_retries,
+        "strict": result.options.strict,
+        "checkpointed": result.checkpointed,
+        "health": result.health.as_record(),
         # Deterministic traffic rate of the seeded population: frames
         # offered per simulated vehicle-second — this anchors the gate.
         "offered_fps": round(total.frames_offered / simulated_s, 1),

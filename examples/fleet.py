@@ -11,14 +11,20 @@ bounded by one shard however large the fleet.  This example
 1. samples a 120-vehicle heterogeneous fleet from the scenario
    registry and runs it end to end,
 2. prints the aggregate (detection rates, drop rates, conservative
-   latency quantiles, per-scenario / per-deployment rollups), and
-3. re-runs a small explicit fleet to show the spec's second mode.
+   latency quantiles, per-scenario / per-deployment rollups),
+3. re-runs a small explicit fleet to show the spec's second mode, and
+4. stages a disaster drill: a checkpointed run under a deterministic
+   chaos plan, interrupted by retry exhaustion, then resumed from the
+   checkpoint to a bit-identical aggregate.
 
 Run:  python examples/fleet.py
 """
 
+import tempfile
+from pathlib import Path
+
 from repro.experiments.context import ExperimentContext, ExperimentSettings
-from repro.fleet import ExecOptions, FleetSpec, VehicleSpec, run_fleet
+from repro.fleet import ChaosPlan, ExecOptions, FleetSpec, VehicleSpec, run_fleet
 
 
 def main() -> None:
@@ -64,6 +70,44 @@ def main() -> None:
         name="demo-pair",
     )
     print(run_fleet(context, pair, ExecOptions(max_workers=1)).summary())
+
+    print("\n== disaster drill: chaos, checkpoint, resume ==")
+    drill = FleetSpec(
+        name="demo-drill",
+        size=24,
+        seed=42,
+        scenarios=("baseline-dos", "baseline-fuzzy"),
+        duration=0.5,
+    )
+    with tempfile.TemporaryDirectory() as scratch:
+        checkpoint = Path(scratch) / "drill.json"
+        # Every faulted shard fails all its attempts: with no retry
+        # budget the run degrades and records what it lost.
+        chaos = ChaosPlan(seed=9, rate=0.4, attempts_affected=99)
+        interrupted = run_fleet(
+            context,
+            drill,
+            ExecOptions(backend="auto", max_retries=0),
+            shard_size=4,
+            checkpoint=checkpoint,
+            chaos=chaos,
+        )
+        print(f"interrupted: {interrupted.health.summary()}")
+        # Resume re-executes only the missing shards; the merged
+        # aggregate is bit-identical to an uninterrupted run.
+        resumed = run_fleet(
+            context,
+            drill,
+            ExecOptions(backend="auto"),
+            shard_size=4,
+            checkpoint=checkpoint,
+        )
+        reference = run_fleet(
+            context, drill, ExecOptions(backend="auto"), shard_size=4
+        )
+        print(f"resumed:     {resumed.health.summary()}")
+        print(f"  {resumed.resumed_shards} shard(s) came from the checkpoint")
+        print(f"  bit-identical to fault-free: {resumed.aggregate == reference.aggregate}")
 
 
 if __name__ == "__main__":

@@ -57,6 +57,7 @@ from repro.can.campaign import (
 from repro.errors import ConfigError
 from repro.experiments.context import ExperimentContext
 from repro.finn.compiled import engine_for
+from repro.fleet.health import RunHealth
 from repro.fleet.pool import run_sharded, warm_engines, worker_state
 from repro.fleet.spec import ExecOptions
 from repro.soc.arbiter import SharedAcceleratorArbiter
@@ -161,6 +162,8 @@ class CampaignSweepResult:
     detector: str  #: detector policy ("auto" = matched per scenario)
     backend: str = "thread"  #: resolved pool backend the sweep ran on
     engine: str = "columnar"  #: bus-simulation engine the sweep used
+    options: ExecOptions | None = None  #: resolved run-spec (resilience knobs included)
+    health: RunHealth = field(default_factory=RunHealth)
     _index: dict[tuple[str, str], ScenarioRun] = field(
         default_factory=dict, repr=False, compare=False
     )
@@ -381,6 +384,8 @@ def run_campaign_sweep(
             detector=detector,
             backend=resolved.backend,
             engine=resolved.engine,
+            options=resolved,
+            health=RunHealth.clean(0),
         )
     descriptions = registry.describe()
     config = _SweepConfig(
@@ -408,15 +413,24 @@ def run_campaign_sweep(
         engine_for(ip)
 
     workers = resolved.workers_for(len(tasks))
-    outcomes = run_sharded(
+    outcome = run_sharded(
         tasks,
         _sweep_worker,
         {"ips": ips, "config": config, "warmup": warm_engines},
         resolved.backend,
         workers,
+        timeout_s=resolved.timeout_s,
+        max_retries=resolved.max_retries,
+        strict=resolved.strict,
+        retry_seed=derive_seed(config.seed, "sweep-retry"),
     )
 
-    runs = [run for scenario_runs in outcomes for run in scenario_runs]
+    runs = [
+        run
+        for scenario_runs in outcome.results
+        if scenario_runs is not None
+        for run in scenario_runs
+    ]
     total_duration = sum(task.campaign.duration for task in tasks)
     return CampaignSweepResult(
         runs=runs,
@@ -424,6 +438,8 @@ def run_campaign_sweep(
         detector=detector,
         backend=resolved.backend,
         engine=resolved.engine,
+        options=resolved,
+        health=outcome.health,
     )
 
 

@@ -3,12 +3,20 @@
 The unified run-spec API over the campaign/gateway stack:
 
 * :mod:`repro.fleet.spec` — :class:`VehicleSpec` / :class:`FleetSpec`
-  (what to simulate) and :class:`ExecOptions` (how to execute it),
-  shared with :func:`repro.experiments.campaigns.run_campaign_sweep`;
+  (what to simulate) and :class:`ExecOptions` (how to execute it,
+  resilience knobs included), shared with
+  :func:`repro.experiments.campaigns.run_campaign_sweep`;
 * :mod:`repro.fleet.aggregate` — streaming, mergeable counters whose
   ``merge`` is associative and commutative, so shard order never shows;
-* :mod:`repro.fleet.pool` — the shared shard-execution machinery
-  (process/thread/serial, state shipped once per worker);
+* :mod:`repro.fleet.pool` — the fault-tolerant shard-execution
+  machinery (retries, timeouts, pool rebuilds; state shipped once per
+  worker);
+* :mod:`repro.fleet.health` — :class:`RunHealth` / :class:`ShardFailure`
+  accounting for degraded runs, and :class:`ShardError` for strict ones;
+* :mod:`repro.fleet.checkpoint` — completed-shard persistence behind
+  ``run_fleet(..., checkpoint=path)`` with bit-identical resume;
+* :mod:`repro.fleet.chaos` — deterministic fault injection for tests
+  and disaster drills;
 * :mod:`repro.fleet.runner` — :func:`run_fleet`, the one-call entry
   point.
 """
@@ -21,6 +29,9 @@ from repro.fleet.aggregate import (
     drop_histogram,
     latency_histogram,
 )
+from repro.fleet.chaos import CHAOS_KINDS, ChaosError, ChaosPlan
+from repro.fleet.checkpoint import CHECKPOINT_VERSION, FleetCheckpoint, fleet_fingerprint
+from repro.fleet.health import RunHealth, ShardedRun, ShardError, ShardFailure
 from repro.fleet.pool import run_sharded, warm_engines, worker_state
 from repro.fleet.runner import FleetResult, fleet_detectors, run_fleet
 from repro.fleet.spec import (
@@ -32,18 +43,28 @@ from repro.fleet.spec import (
 )
 
 __all__ = [
+    "CHAOS_KINDS",
+    "CHECKPOINT_VERSION",
     "DEPLOYMENTS",
     "DROP_BIN_EDGES",
     "EXEC_BACKENDS",
     "LATENCY_BIN_EDGES",
+    "ChaosError",
+    "ChaosPlan",
     "ExecOptions",
     "FleetAggregate",
+    "FleetCheckpoint",
     "FleetResult",
     "FleetSlice",
     "FleetSpec",
+    "RunHealth",
+    "ShardError",
+    "ShardFailure",
+    "ShardedRun",
     "VehicleSpec",
     "drop_histogram",
     "fleet_detectors",
+    "fleet_fingerprint",
     "latency_histogram",
     "run_fleet",
     "run_sharded",

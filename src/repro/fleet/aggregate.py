@@ -20,8 +20,8 @@ across process pools and compare with ``==`` in tests.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Iterable, Mapping
+from dataclasses import dataclass, field, fields
+from typing import Any, Iterable, Mapping
 
 import numpy as np
 
@@ -157,6 +157,31 @@ class FleetSlice:
                 return LATENCY_BIN_EDGES[position + 1]
         return LATENCY_BIN_EDGES[-1]
 
+    def as_json_dict(self) -> dict[str, Any]:
+        """A JSON-ready mapping that round-trips via :meth:`from_json_dict`.
+
+        Every field is an int or a fixed-width tuple of ints, so the
+        round-trip is exact — the property the checkpoint layer's
+        bit-identical-resume guarantee rests on.
+        """
+        payload: dict[str, Any] = {
+            spec.name: getattr(self, spec.name) for spec in fields(self)
+        }
+        payload["latency_hist"] = list(self.latency_hist)
+        payload["drop_hist"] = list(self.drop_hist)
+        return payload
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "FleetSlice":
+        kwargs: dict[str, Any] = {
+            spec.name: int(data[spec.name])
+            for spec in fields(cls)
+            if spec.name not in ("latency_hist", "drop_hist")
+        }
+        kwargs["latency_hist"] = tuple(int(value) for value in data["latency_hist"])
+        kwargs["drop_hist"] = tuple(int(value) for value in data["drop_hist"])
+        return cls(**kwargs)
+
 
 @dataclass(frozen=True)
 class FleetAggregate:
@@ -192,6 +217,34 @@ class FleetAggregate:
             total=self.total.merge(other.total),
             by_scenario=_merge_rollup(self.by_scenario, other.by_scenario),
             by_deployment=_merge_rollup(self.by_deployment, other.by_deployment),
+        )
+
+    def as_json_dict(self) -> dict[str, Any]:
+        """JSON-ready form (exact int round-trip; see :class:`FleetSlice`)."""
+        return {
+            "total": self.total.as_json_dict(),
+            "by_scenario": {
+                key: self.by_scenario[key].as_json_dict()
+                for key in sorted(self.by_scenario)
+            },
+            "by_deployment": {
+                key: self.by_deployment[key].as_json_dict()
+                for key in sorted(self.by_deployment)
+            },
+        }
+
+    @classmethod
+    def from_json_dict(cls, data: Mapping[str, Any]) -> "FleetAggregate":
+        return cls(
+            total=FleetSlice.from_json_dict(data["total"]),
+            by_scenario={
+                key: FleetSlice.from_json_dict(value)
+                for key, value in data["by_scenario"].items()
+            },
+            by_deployment={
+                key: FleetSlice.from_json_dict(value)
+                for key, value in data["by_deployment"].items()
+            },
         )
 
     def summary(self) -> str:

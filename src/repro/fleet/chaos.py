@@ -1,0 +1,126 @@
+"""Deterministic fault injection for the sharded runners.
+
+The fault-tolerance layer (:mod:`repro.fleet.pool`) claims to survive
+worker exceptions, hard process crashes and hangs.  Claims about
+failure paths rot fastest, so this module makes every one of them a
+*scheduled, reproducible event*: a :class:`ChaosPlan` derives, from a
+seed alone, exactly which shard attempts fail and how — the same plan
+on the same task list injects the same faults on every machine, every
+run.  Tests (and operators staging a disaster drill) dial a failure
+rate instead of hand-picking shard ids.
+
+Fault kinds:
+
+* ``"raise"`` — the worker raises :class:`ChaosError`: the ordinary
+  retryable-failure path.
+* ``"crash"`` — the worker process dies with ``os._exit`` (no cleanup,
+  no exception): the :class:`BrokenProcessPool` rebuild path.  Only
+  meaningful on the process backend; in-process execution downgrades a
+  crash draw to ``"raise"`` (an ``os._exit`` there would take the test
+  process down with it — exactly what the fault layer exists to
+  prevent).
+* ``"delay"`` — the worker sleeps ``delay_s`` before proceeding: the
+  per-shard timeout path (with ``timeout_s`` set below the delay) or a
+  plain slow-worker simulation (without).
+
+Determinism: every draw comes from
+``new_rng(seed, "chaos/shard[<index>]")`` — a function of the plan
+seed and the shard index only, never of execution order, worker
+identity or wall clock — so a chaos run's *results* stay bit-identical
+to the fault-free run whenever every shard eventually completes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, ReproError
+from repro.utils.rng import new_rng
+
+__all__ = ["CHAOS_KINDS", "ChaosError", "ChaosPlan"]
+
+#: Injectable fault kinds, in the order plans draw them.
+CHAOS_KINDS = ("raise", "crash", "delay")
+
+
+class ChaosError(ReproError):
+    """The fault a ``"raise"`` injection throws inside the worker."""
+
+
+@dataclass(frozen=True)
+class ChaosPlan:
+    """A seed-derived schedule of worker faults.
+
+    ``rate`` is the probability a shard draws any fault at all;
+    a faulted shard's first ``attempts_affected`` attempts each inject
+    the same drawn ``kind`` (one of ``kinds``), so
+    ``attempts_affected <= max_retries`` exercises retry-then-succeed
+    while ``attempts_affected > max_retries`` forces retry exhaustion.
+    Plans are frozen dataclasses of primitives: they pickle once into
+    the worker state and cross process pools unchanged.
+    """
+
+    seed: int
+    rate: float = 0.1
+    attempts_affected: int = 1
+    kinds: tuple[str, ...] = ("raise",)
+    delay_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.rate <= 1.0:
+            raise ConfigError(f"chaos rate must be in [0, 1], got {self.rate}")
+        if self.attempts_affected < 1:
+            raise ConfigError(
+                f"attempts_affected must be >= 1, got {self.attempts_affected}"
+            )
+        if not self.kinds:
+            raise ConfigError("chaos plan needs at least one fault kind")
+        for kind in self.kinds:
+            if kind not in CHAOS_KINDS:
+                raise ConfigError(
+                    f"unknown chaos kind {kind!r}; choose from {CHAOS_KINDS}"
+                )
+        if self.delay_s < 0:
+            raise ConfigError(f"delay_s must be >= 0, got {self.delay_s}")
+
+    def fault_for(self, index: int) -> str | None:
+        """The fault kind shard ``index`` draws, or None (healthy).
+
+        Pure function of ``(seed, index)`` — the scheduler, the tests
+        and the worker all agree on the schedule without coordination.
+        """
+        rng = new_rng(self.seed, f"chaos/shard[{index}]")
+        if float(rng.uniform(0.0, 1.0)) >= self.rate:
+            return None
+        return self.kinds[int(rng.integers(len(self.kinds)))]
+
+    def faulted_shards(self, num_shards: int) -> tuple[int, ...]:
+        """Every shard id in ``range(num_shards)`` scheduled to fault."""
+        return tuple(
+            index for index in range(num_shards) if self.fault_for(index) is not None
+        )
+
+    def inject(self, index: int, attempt: int, in_process: bool) -> None:
+        """Apply shard ``index``'s fault to attempt ``attempt``, if any.
+
+        Called by the pool's task wrapper at the top of every attempt.
+        ``in_process`` downgrades ``"crash"`` to ``"raise"`` (an
+        ``os._exit`` without a process pool around it would kill the
+        caller, not simulate a worker loss).
+        """
+        if attempt >= self.attempts_affected:
+            return
+        kind = self.fault_for(index)
+        if kind is None:
+            return
+        if kind == "delay":
+            time.sleep(self.delay_s)
+            return
+        if kind == "crash" and not in_process:
+            os._exit(13)
+        raise ChaosError(
+            f"injected {kind!r} fault: shard {index}, attempt {attempt} "
+            f"(plan seed {self.seed})"
+        )

@@ -29,7 +29,8 @@ trained QMLP matching its scenario's attack mechanics
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import os
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any, Mapping
 
 from repro.can.campaign import (
@@ -46,6 +47,8 @@ from repro.fleet.aggregate import (
     drop_histogram,
     latency_histogram,
 )
+from repro.fleet.checkpoint import FleetCheckpoint, fleet_fingerprint
+from repro.fleet.health import RunHealth
 from repro.fleet.pool import run_sharded, warm_engines, worker_state
 from repro.fleet.spec import ExecOptions, FleetSpec, VehicleSpec
 from repro.soc.arbiter import SharedAcceleratorArbiter
@@ -54,6 +57,7 @@ from repro.utils.rng import derive_seed
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.experiments.context import ExperimentContext
+    from repro.fleet.chaos import ChaosPlan
 
 __all__ = ["FleetResult", "fleet_detectors", "run_fleet"]
 
@@ -73,6 +77,9 @@ class FleetResult:
     workers: int
     shards: int
     aggregate: FleetAggregate
+    health: RunHealth = field(default_factory=RunHealth)
+    resumed_shards: int = 0
+    checkpointed: bool = False
 
     @property
     def vehicles(self) -> int:
@@ -89,16 +96,18 @@ class FleetResult:
         return self.options.engine
 
     def as_record(self) -> dict[str, Any]:
-        """Flat scalars for JSON artifacts (bench lanes, reports)."""
+        """Flat scalars for JSON artifacts (bench lanes, reports).
+
+        Includes the resolved resilience settings and the run's health
+        so a degraded artifact is distinguishable from a clean one.
+        """
         total = self.aggregate.total
-        return {
+        record = {
             "fleet": self.spec.name,
             "vehicles": self.vehicles,
             "channels": total.channels,
             "shards": self.shards,
             "workers": self.workers,
-            "backend": self.backend,
-            "engine": self.engine,
             "frames_offered": total.frames_offered,
             "frames_processed": total.frames_processed,
             "frames_dropped": total.frames_dropped,
@@ -108,13 +117,25 @@ class FleetResult:
             "detection_rate": total.detection_rate,
             "drop_rate": total.drop_rate,
         }
+        record.update(self.options.as_record())
+        record["checkpointed"] = self.checkpointed
+        record["resumed_shards"] = self.resumed_shards
+        record["health"] = self.health.as_record()
+        return record
 
     def summary(self) -> str:
         header = (
             f"fleet {self.spec.name!r}: {self.shards} shards over "
             f"{self.workers} {self.backend} worker(s), {self.engine} engine"
         )
-        return "\n".join([header, self.aggregate.summary()])
+        lines = [header, self.aggregate.summary()]
+        if self.resumed_shards:
+            lines.append(
+                f"  resumed: {self.resumed_shards} shard(s) from checkpoint"
+            )
+        if not self.health.ok or self.health.retries:
+            lines.append(f"  {self.health.summary()}")
+        return "\n".join(lines)
 
 
 def fleet_detectors(
@@ -225,6 +246,8 @@ def run_fleet(
     *,
     registry: ScenarioRegistry = SCENARIOS,
     shard_size: int = 64,
+    checkpoint: "str | os.PathLike[str] | None" = None,
+    chaos: "ChaosPlan | None" = None,
 ) -> FleetResult:
     """Simulate every vehicle of ``spec`` and return merged counters.
 
@@ -236,6 +259,17 @@ def run_fleet(
     shard size, worker count and backend; an empty fleet returns a
     well-formed empty result without training detectors or spinning up
     a pool.
+
+    **Fault tolerance.**  Shard attempts honour the resilience knobs on
+    :class:`ExecOptions` (``timeout_s``/``max_retries``/``strict``);
+    shards that exhaust their retries are reported in the result's
+    :class:`~repro.fleet.health.RunHealth` rather than raising (unless
+    ``strict=True``).  ``checkpoint=path`` persists every completed
+    shard's aggregate as it lands; a rerun pointed at the same path
+    re-executes only the missing shards and merges in shard order, so
+    the resumed aggregate is bit-identical to an uninterrupted run.
+    ``chaos`` injects deterministic faults into shard attempts — test
+    machinery (:mod:`repro.fleet.chaos`), never used in production runs.
     """
     if shard_size < 1:
         raise ConfigError(f"shard_size must be >= 1, got {shard_size}")
@@ -247,6 +281,35 @@ def run_fleet(
             workers=0,
             shards=0,
             aggregate=FleetAggregate.empty(),
+            health=RunHealth.clean(0),
+        )
+
+    shards = [
+        _FleetShard(spec=spec, start=start, stop=min(start + shard_size, len(spec)))
+        for start in range(0, len(spec), shard_size)
+    ]
+
+    store: FleetCheckpoint | None = None
+    pending_ids = list(range(len(shards)))
+    if checkpoint is not None:
+        store = FleetCheckpoint.open(
+            checkpoint, fleet_fingerprint(spec, shard_size, resolved), len(shards)
+        )
+        pending_ids = list(store.missing)
+    resumed = len(shards) - len(pending_ids)
+
+    if not pending_ids:
+        # Every shard already checkpointed: nothing to train or run.
+        assert store is not None
+        return FleetResult(
+            spec=spec,
+            options=resolved,
+            workers=0,
+            shards=len(shards),
+            aggregate=store.merged(),
+            health=RunHealth.clean(0),
+            resumed_shards=resumed,
+            checkpointed=True,
         )
 
     detectors = fleet_detectors(spec, registry)
@@ -254,27 +317,56 @@ def run_fleet(
     for ip in ips.values():
         engine_for(ip)  # warm the parent cache for thread/serial backends
 
-    shards = [
-        _FleetShard(spec=spec, start=start, stop=min(start + shard_size, len(spec)))
-        for start in range(0, len(spec), shard_size)
-    ]
-    workers = resolved.workers_for(len(shards))
+    tasks = [shards[shard_id] for shard_id in pending_ids]
+    workers = resolved.workers_for(len(tasks))
     state: dict[str, Any] = {
         "ips": ips,
         "registry": registry,
         "options": resolved,
         "warmup": warm_engines,
     }
-    outcomes = run_sharded(
-        shards, _fleet_shard_worker, state, resolved.backend, workers
+
+    on_result = None
+    if store is not None:
+        bound = store
+
+        def _record(index: int, aggregate: FleetAggregate) -> None:
+            bound.record(pending_ids[index], aggregate)
+
+        on_result = _record
+
+    outcome = run_sharded(
+        tasks,
+        _fleet_shard_worker,
+        state,
+        resolved.backend,
+        workers,
+        timeout_s=resolved.timeout_s,
+        max_retries=resolved.max_retries,
+        strict=resolved.strict,
+        retry_seed=derive_seed(spec.seed, "fleet-retry"),
+        chaos=chaos,
+        on_result=on_result,
     )
-    aggregate = FleetAggregate.empty()
-    for shard_aggregate in outcomes:
-        aggregate = aggregate.merge(shard_aggregate)
+    health = outcome.health.relabeled(pending_ids)
+
+    if store is not None:
+        # The checkpoint holds every completed shard (resumed and new),
+        # keyed by shard id; merging it in id order reproduces the
+        # uninterrupted merge exactly.
+        aggregate = store.merged()
+    else:
+        aggregate = FleetAggregate.empty()
+        for shard_aggregate in outcome.results:
+            if shard_aggregate is not None:
+                aggregate = aggregate.merge(shard_aggregate)
     return FleetResult(
         spec=spec,
         options=resolved,
         workers=workers,
         shards=len(shards),
         aggregate=aggregate,
+        health=health,
+        resumed_shards=resumed,
+        checkpointed=store is not None,
     )

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, replace
-from typing import Iterator
+from typing import Any, Iterator
 
 from repro.errors import ConfigError
 from repro.utils.rng import SeedSequence
@@ -60,6 +60,16 @@ class ExecOptions:
     default, ``"event"`` for the reference loop); ``fifo_capacity`` and
     ``chunk_size`` parameterise each vehicle's RX FIFO and streaming
     chunk.
+
+    **Resilience knobs** (see :mod:`repro.fleet.pool`): each shard
+    attempt may take at most ``timeout_s`` (``None`` disables the
+    deadline; enforced on pool backends only) and is retried up to
+    ``max_retries`` times with capped seed-derived exponential backoff.
+    ``strict=False`` (default) degrades gracefully — shards that
+    exhaust their retries land in the run's
+    :class:`~repro.fleet.health.RunHealth` instead of raising;
+    ``strict=True`` raises :class:`~repro.fleet.health.ShardError` on
+    the first exhausted shard.
     """
 
     backend: str = "auto"
@@ -67,6 +77,9 @@ class ExecOptions:
     max_workers: int | None = None
     fifo_capacity: int = 64
     chunk_size: int = 4096
+    timeout_s: float | None = None
+    max_retries: int = 2
+    strict: bool = False
 
     def __post_init__(self) -> None:
         if self.backend not in EXEC_BACKENDS:
@@ -86,6 +99,10 @@ class ExecOptions:
             raise ConfigError(f"fifo_capacity must be >= 1, got {self.fifo_capacity}")
         if self.chunk_size < 1:
             raise ConfigError(f"chunk_size must be >= 1, got {self.chunk_size}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ConfigError(f"timeout_s must be positive, got {self.timeout_s}")
+        if self.max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {self.max_retries}")
 
     def resolve_backend(self) -> str:
         """The concrete backend this host runs: never ``"auto"``."""
@@ -102,6 +119,24 @@ class ExecOptions:
         if self.max_workers is not None:
             return self.max_workers
         return max(1, min(8, os.cpu_count() or 1, num_tasks))
+
+    def as_record(self) -> dict[str, Any]:
+        """Flat scalars for JSON artifacts: how the run actually executed.
+
+        Resilience knobs included, so bench and campaign outputs state
+        the fault-tolerance configuration they ran under — a degraded
+        run and a strict run are not the same experiment.
+        """
+        return {
+            "backend": self.backend,
+            "engine": self.engine,
+            "max_workers": self.max_workers,
+            "fifo_capacity": self.fifo_capacity,
+            "chunk_size": self.chunk_size,
+            "timeout_s": self.timeout_s,
+            "max_retries": self.max_retries,
+            "strict": self.strict,
+        }
 
 
 @dataclass(frozen=True)

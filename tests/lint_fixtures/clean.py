@@ -1,6 +1,6 @@
 """Fixture: triggers no rule under any role."""
 
-# reprolint: module-role=kernel,columnar,sim,typed-core
+# reprolint: module-role=kernel,columnar,sim,typed-core,pool
 
 from __future__ import annotations
 

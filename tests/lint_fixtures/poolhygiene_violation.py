@@ -1,0 +1,16 @@
+# reprolint: module-role=pool
+"""Fixture: unbounded future waits and executor .map() in a pool module."""
+
+from concurrent.futures import ThreadPoolExecutor
+
+
+def work(item):
+    return item
+
+
+def fan_out(items):
+    with ThreadPoolExecutor(max_workers=2) as pool:
+        results = list(pool.map(work, items))  # naked map: no failure story
+        future = pool.submit(work, 0)
+        results.append(future.result())  # unbounded wait
+    return results

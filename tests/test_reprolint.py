@@ -34,6 +34,7 @@ VIOLATION_FIXTURES = [
     ("ab_violation.py", "ab-equivalence"),
     ("simtime_violation.py", "sim-time-hygiene"),
     ("typedcore_violation.py", "typed-core"),
+    ("poolhygiene_violation.py", "pool-hygiene"),
     ("bare_suppression.py", "bare-suppression"),
 ]
 

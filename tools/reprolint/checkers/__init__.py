@@ -5,6 +5,7 @@ from tools.reprolint.checkers import (  # noqa: F401  (registration side effects
     dtype,
     hotpath,
     pickle_safety,
+    pool_hygiene,
     rng,
     simtime,
     typedcore,

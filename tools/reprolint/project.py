@@ -15,6 +15,9 @@ Roles map modules to rule families:
 * ``typed-core`` — the strict-mypy module list (mirrored in
   ``mypy.ini``); reprolint enforces annotation completeness locally so
   the gate fails fast even where mypy is not installed.
+* ``pool`` — the fault-tolerant shard machinery (``src/repro/fleet/``):
+  no unbounded ``future.result()``/``.exception()`` waits, no executor
+  ``.map()`` fan-out (the submit/wait scheduler owns failure handling).
 
 Fixture files opt into roles inline with
 ``# reprolint: module-role=...`` — see ``tests/lint_fixtures/``.
@@ -83,6 +86,7 @@ class LintConfig:
         )
     )
     sim_prefixes: tuple[str, ...] = ("src/repro/can/", "src/repro/soc/")
+    pool_prefixes: tuple[str, ...] = ("src/repro/fleet/",)
     typed_core: tuple[str, ...] = (
         "src/repro/can/frame.py",
         "src/repro/can/log.py",
@@ -93,6 +97,9 @@ class LintConfig:
         "src/repro/fleet/aggregate.py",
         "src/repro/fleet/pool.py",
         "src/repro/fleet/runner.py",
+        "src/repro/fleet/health.py",
+        "src/repro/fleet/chaos.py",
+        "src/repro/fleet/checkpoint.py",
     )
     #: A/B switch parameter -> the pair of values tests must exercise.
     ab_required: Mapping[str, tuple[object, ...]] = field(
@@ -114,6 +121,8 @@ class LintConfig:
             roles.add("columnar")
         if any(prefix in rel for prefix in self.sim_prefixes):
             roles.add("sim")
+        if any(prefix in rel for prefix in self.pool_prefixes):
+            roles.add("pool")
         if any(self._matches(rel, entry) for entry in self.typed_core):
             roles.add("typed-core")
         return frozenset(roles)
