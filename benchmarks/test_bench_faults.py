@@ -1,0 +1,123 @@
+"""Micro-benchmark: the wire-level fault layer's cost on the bus kernel.
+
+Simulates the same seeded vehicle window through the columnar engine
+with no fault model, with a zero-rate model (the fault machinery
+engaged but drawing nothing), and across a BER sweep — archiving the
+frame rates to ``benchmarks/output/BENCH_faults.json``.  The structural
+claim gated *in-bench*: routing every capture through the fault-aware
+entry points must not tax the clean path — the zero-rate lane's
+best-of wall time stays within ``MAX_CLEAN_OVERHEAD_PCT`` of the
+no-model lane's, and both produce bit-identical captures.
+
+Metric classes (see ``scripts/check_bench_regression.py``): the
+``offered_fps`` leaves are deterministic traffic rates (a property of
+the seeded scenario and its BER, identical across machines) and gate
+the regression check; ``*_wall_fps`` rates are wall-clock based and
+informational; the ``clean_overhead_pct`` leaf matches the checker's
+``overhead`` skip marker — its hard floor is the assert below, not a
+cross-machine comparison.
+"""
+
+import json
+import time
+
+import numpy as np
+from _bench_lane import OUTPUT_DIR, SMOKE
+
+from repro.can.attacks import DoSAttacker
+from repro.can.faults import WireFaultModel
+from repro.datasets.carhacking import build_vehicle_bus
+
+#: Simulated seconds per lane.
+DURATION = 1.0 if SMOKE else 4.0
+
+#: Clean-path tax ceiling (percent).  Best-of timing makes the full run
+#: stable; the one-iteration smoke lane gets slack for scheduler noise.
+MAX_CLEAN_OVERHEAD_PCT = 25.0 if SMOKE else 5.0
+
+#: Wire bit-error rates swept by the faulted lanes.
+BERS = (1e-5, 1e-4, 1e-3)
+
+_SEED = 2023
+
+
+def _loaded_bus():
+    bus = build_vehicle_bus(vehicle_seed=_SEED)
+    bus.attach(
+        DoSAttacker([(0.2 * DURATION, 0.8 * DURATION)], interval=0.0005, seed=_SEED)
+    )
+    return bus
+
+
+def _best_of(fn, repeats):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def test_bench_fault_layer():
+    repeats = 1 if SMOKE else 5
+
+    clean_s, clean = _best_of(lambda: _loaded_bus().capture(DURATION), repeats)
+    zero_model = WireFaultModel(seed=_SEED)
+    zero_s, zero = _best_of(
+        lambda: _loaded_bus().capture(DURATION, faults=zero_model), repeats
+    )
+    # The zero-rate model must not perturb the simulation by one bit.
+    np.testing.assert_array_equal(
+        clean.capture.timestamps, zero.capture.timestamps
+    )
+    np.testing.assert_array_equal(clean.capture.can_ids, zero.capture.can_ids)
+    assert not zero.corrupted_mask.any()
+
+    overhead_pct = round(100.0 * (zero_s / clean_s - 1.0), 2)
+    frames = len(clean.capture)
+    payload = {
+        "sim_duration_s": DURATION,
+        "max_clean_overhead_pct_required": MAX_CLEAN_OVERHEAD_PCT,
+        "clean": {
+            "frames": frames,
+            "offered_fps": round(frames / DURATION, 1),
+            "columnar_wall_fps": round(frames / clean_s, 1),
+        },
+        "zero_rate_model": {
+            "columnar_wall_fps": round(frames / zero_s, 1),
+            "clean_overhead_pct": overhead_pct,
+            "bit_exact": True,
+        },
+        "ber_sweep": {},
+    }
+
+    for ber in BERS:
+        model = WireFaultModel(seed=_SEED, bit_error_rate=ber)
+        faulted_s, result = _best_of(
+            lambda: _loaded_bus().capture(DURATION, faults=model), repeats
+        )
+        rows = len(result.capture)
+        payload["ber_sweep"][f"ber_{ber:g}"] = {
+            "frames": rows,
+            "corrupted": int(result.corrupted_mask.sum()),
+            "retransmissions": int(
+                result.retry_counts[~result.corrupted_mask].sum()
+            ),
+            "bus_off_events": int(result.bus_off_mask.sum()),
+            "offered_fps": round(rows / DURATION, 1),
+            "faulted_wall_fps": round(rows / faulted_s, 1),
+        }
+
+    OUTPUT_DIR.mkdir(parents=True, exist_ok=True)
+    (OUTPUT_DIR / "BENCH_faults.json").write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    worst = payload["ber_sweep"][f"ber_{BERS[-1]:g}"]
+    print(
+        f"\nfault layer ({DURATION:g}s window): clean "
+        f"{payload['clean']['columnar_wall_fps']:,.0f} fps, zero-rate model "
+        f"{overhead_pct:+.1f}% wall; BER {BERS[-1]:g} -> {worst['corrupted']} "
+        f"corrupted, {worst['faulted_wall_fps']:,.0f} fps"
+    )
+    assert overhead_pct < MAX_CLEAN_OVERHEAD_PCT, payload

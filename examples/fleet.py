@@ -13,9 +13,13 @@ bounded by one shard however large the fleet.  This example
 2. prints the aggregate (detection rates, drop rates, conservative
    latency quantiles, per-scenario / per-deployment rollups),
 3. re-runs a small explicit fleet to show the spec's second mode, and
-4. stages a disaster drill: a checkpointed run under a deterministic
-   chaos plan, interrupted by retry exhaustion, then resumed from the
-   checkpoint to a bit-identical aggregate.
+4. stages a disaster drill composing *both* fault layers: every
+   vehicle rides a noisy harness (wire-level bit errors, error frames
+   and retransmissions from :mod:`repro.can.faults`) while a
+   deterministic chaos plan (scheduler faults: worker raises, crashes,
+   hangs from :mod:`repro.fleet.chaos`) interrupts the checkpointed
+   run through retry exhaustion — then resumes it to an aggregate
+   bit-identical to the uninterrupted noisy run.
 
 Run:  python examples/fleet.py
 """
@@ -23,6 +27,7 @@ Run:  python examples/fleet.py
 import tempfile
 from pathlib import Path
 
+from repro.can.faults import WireFaultModel
 from repro.experiments.context import ExperimentContext, ExperimentSettings
 from repro.fleet import ChaosPlan, ExecOptions, FleetSpec, VehicleSpec, run_fleet
 
@@ -71,13 +76,17 @@ def main() -> None:
     )
     print(run_fleet(context, pair, ExecOptions(max_workers=1)).summary())
 
-    print("\n== disaster drill: chaos, checkpoint, resume ==")
+    print("\n== disaster drill: wire faults + chaos, checkpoint, resume ==")
+    # Two independent fault layers composed: wire faults corrupt the
+    # simulated CAN harness inside every vehicle (deterministic per
+    # vehicle seed), chaos faults kill the workers simulating them.
     drill = FleetSpec(
         name="demo-drill",
         size=24,
         seed=42,
         scenarios=("baseline-dos", "baseline-fuzzy"),
         duration=0.5,
+        wire_faults=WireFaultModel(seed=7, bit_error_rate=1e-4),
     )
     with tempfile.TemporaryDirectory() as scratch:
         checkpoint = Path(scratch) / "drill.json"
@@ -107,7 +116,13 @@ def main() -> None:
         )
         print(f"resumed:     {resumed.health.summary()}")
         print(f"  {resumed.resumed_shards} shard(s) came from the checkpoint")
-        print(f"  bit-identical to fault-free: {resumed.aggregate == reference.aggregate}")
+        total = resumed.aggregate.total
+        print(
+            f"  wire faults: {total.frames_corrupted} corrupted, "
+            f"{total.retransmissions} retransmitted, "
+            f"{total.bus_off_events} bus-off"
+        )
+        print(f"  bit-identical to chaos-free: {resumed.aggregate == reference.aggregate}")
 
 
 if __name__ == "__main__":

@@ -10,6 +10,8 @@
 #                                             serial vs. thread/process sweep walls
 #   benchmarks/output/BENCH_bus.json        — event-driven vs. columnar bus
 #                                             simulation frame rates
+#   benchmarks/output/BENCH_faults.json     — wire-fault layer: clean-path
+#                                             overhead and BER-swept rates
 #   benchmarks/output/BENCH_datapath.json   — zero-record data path: capture->
 #                                             train encode, chunked streaming,
 #                                             saturated-flood arbitration
@@ -47,6 +49,7 @@ done
 MICRO_BENCHES=(
     benchmarks/test_bench_encoder.py
     benchmarks/test_bench_bus.py
+    benchmarks/test_bench_faults.py
     benchmarks/test_bench_datapath.py
     benchmarks/test_bench_inference.py
     benchmarks/test_bench_gateway.py
@@ -67,5 +70,5 @@ else
     echo "== micro-benchmarks =="
     python -m pytest -q -s "${MICRO_BENCHES[@]}" benchmarks/test_bench_micro.py
 
-    echo "perf trajectory written to benchmarks/output/BENCH_{encoders,bus,datapath,inference,gateway,campaigns,fleet}.json"
+    echo "perf trajectory written to benchmarks/output/BENCH_{encoders,bus,faults,datapath,inference,gateway,campaigns,fleet}.json"
 fi

@@ -9,11 +9,15 @@ The paper's system observes frames at an ECU's CAN interface; this
 package is what generates those frames with realistic timing — including
 the side effects attacks have on legitimate traffic (a DoS flood of
 dominant-ID frames delays everyone else through arbitration, which the
-simulator reproduces).
+simulator reproduces).  The wire-level fault layer
+(:class:`WireFaultModel`, :class:`TargetedFault`,
+:class:`BusOffAttacker`) adds the physical layer misbehaving: bit
+errors, error frames, retransmission and bus-off fault confinement.
 """
 
 from repro.can.attacks import (
     BurstDoSAttacker,
+    BusOffAttacker,
     DoSAttacker,
     FuzzyAttacker,
     MasqueradeAttacker,
@@ -38,6 +42,7 @@ from repro.can.campaign import (
     ScenarioRegistry,
     compile_campaign,
 )
+from repro.can.faults import TargetedFault, WireFaultModel, resolve_bus_faults
 from repro.can.frame import CANFrame, crc15
 from repro.can.log import CANLogRecord, CaptureArray, read_car_hacking_csv, write_car_hacking_csv
 from repro.can.node import PeriodicSender, ScheduledFrame, TrafficSource
@@ -47,6 +52,7 @@ __all__ = [
     "ArbitrationResult",
     "AttackPhase",
     "BurstDoSAttacker",
+    "BusOffAttacker",
     "BusRecord",
     "BusSimulator",
     "CANFrame",
@@ -65,11 +71,14 @@ __all__ = [
     "ScheduledFrame",
     "SpoofingAttacker",
     "SuspensionAttacker",
+    "TargetedFault",
     "TrafficSource",
+    "WireFaultModel",
     "build_schedule",
     "compile_campaign",
     "crc15",
     "read_car_hacking_csv",
+    "resolve_bus_faults",
     "simulate_arbitration",
     "standard_wire_bits",
     "write_car_hacking_csv",

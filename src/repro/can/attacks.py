@@ -46,9 +46,11 @@ from repro.utils.rng import new_rng
 
 if TYPE_CHECKING:  # pragma: no cover - circular-import guard
     from repro.can.fastbus import ScheduleArray
+    from repro.can.faults import TargetedFault
 
 __all__ = [
     "BurstDoSAttacker",
+    "BusOffAttacker",
     "DEFAULT_SUSPENSION_DELAY",
     "DoSAttacker",
     "FuzzyAttacker",
@@ -403,6 +405,68 @@ class ReplayAttacker(_WindowedSource):
             sources=np.full(cut, self.name),  # reprolint: disable=dtype-discipline -- unicode width inferred from the attacker name
             wire_bits=self._wire_bits[:cut],
         )
+
+
+class BusOffAttacker:
+    """Force a victim into bus-off by corrupting its transmissions.
+
+    The Cho–Shin bus-off attack (CCS 2016) synchronises with a victim's
+    frame and injects a dominant bit into it, forcing a transmit error:
+    the victim's TEC climbs +8 per corrupted attempt and, once every
+    transmission errs, marches through error-passive (128) into bus-off
+    (256), at which point the ECU falls silent — a suspension attack
+    executed purely through the error machinery.
+
+    This source puts **nothing** on the wire itself (the injected
+    dominant bit rides inside the victim's own frame); instead it
+    exposes :meth:`targeted_faults` — wire-fault hooks the bus engines
+    fold into their :class:`~repro.can.faults.WireFaultModel`
+    (see :func:`repro.can.faults.resolve_bus_faults`).  With the
+    default one corrupted attempt per frame the victim's TEC walks the
+    classic +8/−1 sawtooth; larger ``attempts_per_frame`` models an
+    attacker re-hitting each retransmission, reaching bus-off within a
+    couple of frames.
+    """
+
+    def __init__(
+        self,
+        windows: Sequence[Window],
+        target_id: int,
+        attempts_per_frame: int = 1,
+        seed: int = 0,
+        name: str | None = None,
+    ):
+        if attempts_per_frame < 1:
+            raise CANError(
+                f"attempts_per_frame must be >= 1, got {attempts_per_frame}"
+            )
+        self.windows = _validate_windows(windows)
+        self.can_id = target_id
+        self.attempts_per_frame = attempts_per_frame
+        self.seed = seed
+        self.name = name or f"bus-off-0x{target_id:03X}"
+
+    def targeted_faults(self) -> "list[TargetedFault]":
+        """The corruption hooks this attacker contributes to the bus."""
+        from repro.can.faults import TargetedFault
+
+        return [
+            TargetedFault(
+                start=start,
+                end=end,
+                attempts=self.attempts_per_frame,
+                can_id=self.can_id,
+            )
+            for start, end in self.windows
+        ]
+
+    def frames_array(self, until: float) -> "ScheduleArray":
+        from repro.can.fastbus import ScheduleArray
+
+        return ScheduleArray.empty()
+
+    def frames(self, until: float) -> Iterator[ScheduledFrame]:
+        return iter(())
 
 
 class SuspensionAttacker:

@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterator, Mapping, Sequence
 from repro.can.attacks import (
     DEFAULT_SUSPENSION_DELAY,
     BurstDoSAttacker,
+    BusOffAttacker,
     DoSAttacker,
     FuzzyAttacker,
     MasqueradeAttacker,
@@ -47,7 +48,7 @@ from repro.can.attacks import (
 )
 from repro.can.bus import BITRATE_HS_CAN, BusSimulator
 from repro.can.frame import CANFrame
-from repro.errors import CANError
+from repro.errors import CANError, ConfigError
 from repro.utils.rng import derive_seed
 
 __all__ = [
@@ -71,6 +72,7 @@ ATTACK_KINDS = (
     "ramp-dos",
     "suspension",
     "masquerade",
+    "bus-off",
 )
 
 #: Kinds that put labelled frames on the wire (suspension in drop mode
@@ -106,7 +108,10 @@ class AttackPhase:
             raise CANError(f"unknown attack kind {self.kind!r}; choose from {ATTACK_KINDS}")
         if self.start < 0 or self.end <= self.start:
             raise CANError(f"phase window ({self.start}, {self.end}) is empty or negative")
-        if self.kind in ("suspension", "masquerade") and "target_id" not in self.params:
+        if (
+            self.kind in ("suspension", "masquerade", "bus-off")
+            and "target_id" not in self.params
+        ):
             raise CANError(f"{self.kind} phase needs params['target_id']")
         # The compiler owns these: the attacker's name IS the phase label
         # (source-based attribution depends on it), its window comes from
@@ -218,8 +223,8 @@ class Campaign:
         before the first phase simply lasts ``offset`` seconds longer.
         ``offset=0`` returns ``self`` unchanged.
         """
-        if offset < 0:
-            raise CANError(f"onset offset must be >= 0, got {offset}")
+        if not (offset >= 0.0) or offset == float("inf"):
+            raise ConfigError(f"onset offset must be finite and >= 0, got {offset}")
         if offset == 0:
             return self
         return Campaign(
@@ -344,6 +349,12 @@ def _apply_phase(
         bus.attach(
             _replay_source(phase, channel_vehicle_seed, bitrate, seed, name, profile)
         )
+    elif phase.kind == "bus-off":
+        # The victim stays attached: the attacker corrupts its frames on
+        # the wire (via targeted wire faults) rather than replacing it.
+        target_id = params.pop("target_id")
+        _find_sender(bus, target_id, phase.channel)  # fail early if absent
+        bus.attach(BusOffAttacker(window, target_id=target_id, seed=seed, **params))
     elif phase.kind == "suspension":
         target_id = params.pop("target_id")
         index, victim = _find_sender(bus, target_id, phase.channel)
@@ -633,6 +644,36 @@ def _multi_segment_storm(duration: float = 4.0) -> Campaign:
             AttackPhase("dos", start, end, channel) for channel in GATEWAY_SEGMENTS
         ),
         description="simultaneous floods: no quiet segment to borrow capacity from",
+    )
+
+
+@SCENARIOS.register(
+    "bus-off-victim", "Cho-Shin bus-off attack: error-frame corruption silences the gear ECU"
+)
+def _bus_off_victim(duration: float = 4.0) -> Campaign:
+    return _single(
+        "bus-off-victim", duration, "bus-off",
+        "every 0x43F transmission is corrupted: TEC walks +8/-1 into bus-off",
+        {"target_id": 0x43F},
+    )
+
+
+@SCENARIOS.register(
+    "bus-off-under-flood", "a DoS flood masks a bus-off attack on another segment"
+)
+def _bus_off_under_flood(duration: float = 4.0) -> Campaign:
+    return Campaign(
+        name="bus-off-under-flood",
+        duration=duration,
+        channels=("powertrain", "body"),
+        phases=(
+            AttackPhase("dos", duration * 0.20, duration * 0.70, "powertrain"),
+            AttackPhase(
+                "bus-off", duration * 0.25, duration * 0.65, "body",
+                {"target_id": 0x316, "attempts_per_frame": 4},
+            ),
+        ),
+        description="the flood draws attention while the RPM ECU is error-framed off its bus",
     )
 
 

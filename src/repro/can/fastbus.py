@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
+import dataclasses
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Iterable, Sequence
 
@@ -44,6 +45,7 @@ from repro.errors import CANError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (log -> bus -> node)
     from repro.can.bus import BusRecord
+    from repro.can.faults import WireFaultModel
     from repro.can.log import CaptureArray
     from repro.can.node import ScheduledFrame, TrafficSource
 
@@ -438,6 +440,14 @@ class ArbitrationResult:
     ``sources`` the emitting node per surviving frame, ``wire_bits``
     the exact occupancy used for bus-load accounting, and
     ``schedule_indices`` each survivor's row in the merged schedule.
+
+    Faulted runs (``faults=`` on :func:`simulate_arbitration`) add the
+    wire-fault attribution columns: ``corrupted`` flags records that
+    are corrupted attempts (one capture row per attempt — schedule rows
+    may repeat), ``retries`` counts a record's earlier attempts, and
+    ``bus_off`` marks the attempt that silenced its sender.  They stay
+    ``None`` on the clean path (use the ``*_mask``/``retry_counts``
+    accessors for a uniform view).
     """
 
     capture: "CaptureArray"
@@ -448,9 +458,33 @@ class ArbitrationResult:
     schedule_indices: np.ndarray
     bitrate: float
     duration: float
+    corrupted: np.ndarray | None = None
+    retries: np.ndarray | None = None
+    bus_off: np.ndarray | None = None
 
     def __len__(self) -> int:
         return len(self.capture)
+
+    @property
+    def corrupted_mask(self) -> np.ndarray:
+        """Per-record corrupted flags (all-False on the clean path)."""
+        if self.corrupted is not None:
+            return self.corrupted
+        return np.zeros(len(self), dtype=bool)
+
+    @property
+    def retry_counts(self) -> np.ndarray:
+        """Per-record prior-attempt counts (all-zero on the clean path)."""
+        if self.retries is not None:
+            return self.retries
+        return np.zeros(len(self), dtype=np.int64)
+
+    @property
+    def bus_off_mask(self) -> np.ndarray:
+        """Per-record bus-off flags (all-False on the clean path)."""
+        if self.bus_off is not None:
+            return self.bus_off
+        return np.zeros(len(self), dtype=bool)
 
     def bus_load(self) -> float:
         """Fraction of wire time occupied by the surviving frames."""
@@ -467,6 +501,9 @@ class ArbitrationResult:
         from repro.can.frame import CANFrame
 
         capture = self.capture
+        corrupted = self.corrupted_mask
+        retries = self.retry_counts
+        bus_off = self.bus_off_mask
         records = []
         for k in range(len(capture)):
             dlc = int(capture.dlcs[k])
@@ -478,13 +515,19 @@ class ArbitrationResult:
                     source=str(self.sources[k]),
                     queued_at=float(self.queued_at[k]),
                     started_at=float(self.started_at[k]),
+                    corrupted=bool(corrupted[k]),
+                    retries=int(retries[k]),
+                    bus_off=bool(bus_off[k]),
                 )
             )
         return records
 
 
 def simulate_arbitration(
-    schedule: ScheduleArray, bitrate: float, duration: float
+    schedule: ScheduleArray,
+    bitrate: float,
+    duration: float,
+    faults: "WireFaultModel | None" = None,
 ) -> ArbitrationResult:
     """Replay CSMA/CR priority arbitration over a merged schedule.
 
@@ -498,11 +541,19 @@ def simulate_arbitration(
     with every float operation identical to ``BusSimulator.run``, so
     winners, timestamps and horizon drops are bit-exact, not merely
     close.
+
+    ``faults`` enables the wire-fault layer (:mod:`repro.can.faults`),
+    bit-exact against ``BusSimulator.run(..., faults=)``: the shared
+    :class:`~repro.can.faults.FaultPlan` decides corruptions before the
+    sweep, clean uncontended stretches stay vectorised, and faulted or
+    silenced rows drop to the heap loop.
     """
     if duration <= 0:
         raise CANError(f"duration must be positive, got {duration}")
     if bitrate <= 0:
         raise CANError(f"bitrate must be positive, got {bitrate}")
+    if faults is not None:
+        return _simulate_arbitration_faulted(schedule, bitrate, duration, faults)
     from repro.can.log import CaptureArray
 
     n = len(schedule)
@@ -706,4 +757,214 @@ def simulate_arbitration(
         schedule_indices=survivors.copy(),
         bitrate=float(bitrate),
         duration=float(duration),
+    )
+
+
+def _simulate_arbitration_faulted(
+    schedule: ScheduleArray,
+    bitrate: float,
+    duration: float,
+    faults: "WireFaultModel",
+) -> ArbitrationResult:
+    """The faulted columnar sweep: error frames, retransmission, bus-off.
+
+    The shared :class:`~repro.can.faults.FaultPlan` is resolved over the
+    release-sorted columns first, so corruption draws and bus-off times
+    are identical to the event engine's.  Rows the plan leaves alone
+    keep the clean engine's vectorised singleton runs; rows with
+    corrupted attempts — whose retransmissions re-enter arbitration at
+    their error-frame completion — and rows of silenced nodes run the
+    scalar heap loop, whose keys gain the entry release and a push
+    sequence exactly as the faulted event loop's do.  Schedule rows may
+    emit several records (one per attempt plus the final success);
+    completion times stay non-decreasing, so the horizon prefix cut is
+    unchanged.
+    """
+    from repro.can.log import CaptureArray
+
+    n = len(schedule)
+    releases = schedule.release_times
+    if n == 0:
+        empty = simulate_arbitration(schedule, bitrate, duration)
+        return ArbitrationResult(
+            capture=empty.capture,
+            sources=empty.sources,
+            queued_at=empty.queued_at,
+            started_at=empty.started_at,
+            wire_bits=empty.wire_bits,
+            schedule_indices=empty.schedule_indices,
+            bitrate=float(bitrate),
+            duration=float(duration),
+            corrupted=np.zeros(0, dtype=bool),
+            retries=np.zeros(0, dtype=np.int64),
+            bus_off=np.zeros(0, dtype=bool),
+        )
+    if np.any(np.diff(releases) < 0):
+        raise CANError("simulate_arbitration needs a release-sorted schedule")
+
+    wire_bits = schedule.resolved_wire_bits()
+    durations = wire_bits / float(bitrate)
+    plan = faults.plan(releases, schedule.can_ids, wire_bits, schedule.sources, bitrate)
+    if plan.clean:
+        # The model drew nothing over this window: the clean kernel is
+        # bit-identical, so a zero-rate model costs only the plan.  The
+        # resolved wire bits ride along so the length kernel runs once.
+        return simulate_arbitration(
+            dataclasses.replace(schedule, wire_bits=wire_bits), bitrate, duration
+        )
+    error_s = plan.error_s
+    solo_ends = releases + durations
+    chain = np.empty(n, dtype=bool)
+    if n > 1:
+        chain[:-1] = releases[1:] >= solo_ends[:-1]
+    chain[-1] = True
+    # Rows the plan touches (extra attempts, or silenced entirely) bound
+    # the vectorised runs exactly like contention does.
+    affected = (plan.attempts > 0) | ~plan.queued
+    contended = np.flatnonzero(~chain | affected)
+
+    capacity = n + plan.total_attempts
+    out_index = np.empty(capacity, dtype=np.int64)
+    out_start = np.empty(capacity, dtype=np.float64)
+    out_end = np.empty(capacity, dtype=np.float64)
+    out_corr = np.zeros(capacity, dtype=bool)
+    out_retry = np.zeros(capacity, dtype=np.int64)
+    out_boff = np.zeros(capacity, dtype=bool)
+    count = 0
+
+    # Primitive views for the scalar busy-period loop (built lazily).
+    releases_list: list[float] | None = None
+    durations_list: list[float] | None = None
+    ids_list: list[int] | None = None
+    chain_list: list[bool] | None = None
+    affected_list: list[bool] | None = None
+    queued_list: list[bool] | None = None
+    left: list[int] | None = None
+    attempts_total: list[int] | None = None
+    transmit_list: list[bool] | None = None
+
+    i = 0
+    free = 0.0
+    sequence = 0
+    while i < n:
+        if releases[i] >= free and chain[i] and not affected[i]:
+            # Clean vectorised run, identical to the fault-free engine:
+            # every row up to the next contended/affected index starts
+            # at its release and completes solo.
+            position = np.searchsorted(contended, i)
+            j = int(contended[position]) if position < contended.size else n
+            run = j - i
+            out_index[count : count + run] = np.arange(i, j, dtype=np.int64)
+            out_start[count : count + run] = releases[i:j]
+            out_end[count : count + run] = solo_ends[i:j]
+            count += run
+            free = float(solo_ends[j - 1])
+            i = j
+            continue
+        if releases_list is None:
+            releases_list = releases.tolist()
+            durations_list = durations.tolist()
+            ids_list = schedule.can_ids.tolist()
+            chain_list = chain.tolist()
+            affected_list = affected.tolist()
+            queued_list = plan.queued.tolist()
+            left = plan.attempts.tolist()
+            attempts_total = plan.attempts.tolist()
+            transmit_list = plan.transmit.tolist()
+        assert durations_list is not None
+        assert ids_list is not None
+        assert chain_list is not None
+        assert affected_list is not None
+        assert queued_list is not None
+        assert left is not None
+        assert attempts_total is not None
+        assert transmit_list is not None
+        # Faulted busy period: exact replay of the faulted event loop.
+        pending: list[tuple[int, float, int, int]] = []
+        block_index: list[int] = []
+        block_start: list[float] = []
+        block_end: list[float] = []
+        block_corr: list[bool] = []
+        block_retry: list[int] = []
+        block_boff: list[bool] = []
+        while True:
+            if not pending:
+                while i < n and not queued_list[i]:
+                    i += 1  # bus-off node: the frame is never offered
+                if i >= n or (
+                    releases_list[i] >= free
+                    and chain_list[i]
+                    and not affected_list[i]
+                ):
+                    break  # bus idle again and the next row is a clean singleton
+                next_release = releases_list[i]
+                candidate = next_release if next_release > free else free
+            else:
+                root_release = pending[0][1]
+                candidate = root_release if root_release > free else free
+            while i < n and releases_list[i] <= candidate:
+                if queued_list[i]:
+                    heapq.heappush(
+                        pending, (ids_list[i], releases_list[i], sequence, i)
+                    )
+                    sequence += 1
+                i += 1
+            if not pending:
+                continue
+            can_id, entry_release, _, winner = heapq.heappop(pending)
+            start = entry_release if entry_release > free else free
+            if left[winner] > 0:
+                end = start + durations_list[winner] + error_s
+                left[winner] -= 1
+                dead = left[winner] == 0 and not transmit_list[winner]
+                block_index.append(winner)
+                block_start.append(start)
+                block_end.append(end)
+                block_corr.append(True)
+                block_retry.append(attempts_total[winner] - 1 - left[winner])
+                block_boff.append(dead)
+                if not dead:
+                    # The retransmission re-arbitrates from its error
+                    # frame's completion.
+                    heapq.heappush(pending, (can_id, end, sequence, winner))
+                    sequence += 1
+            else:
+                end = start + durations_list[winner]
+                block_index.append(winner)
+                block_start.append(start)
+                block_end.append(end)
+                block_corr.append(False)
+                block_retry.append(attempts_total[winner])
+                block_boff.append(False)
+            free = end
+        emitted = len(block_index)
+        out_index[count : count + emitted] = block_index
+        out_start[count : count + emitted] = block_start
+        out_end[count : count + emitted] = block_end
+        out_corr[count : count + emitted] = block_corr
+        out_retry[count : count + emitted] = block_retry
+        out_boff[count : count + emitted] = block_boff
+        count += emitted
+
+    kept = int(np.searchsorted(out_end[:count], duration, side="right"))
+    survivors = out_index[:kept]
+    capture = CaptureArray(
+        timestamps=out_end[:kept].copy(),
+        can_ids=schedule.can_ids[survivors],
+        dlcs=schedule.dlcs[survivors],
+        payloads=schedule.payloads[survivors],
+        labels=schedule.labels[survivors],
+    )
+    return ArbitrationResult(
+        capture=capture,
+        sources=schedule.sources[survivors],
+        queued_at=schedule.release_times[survivors],
+        started_at=out_start[:kept].copy(),
+        wire_bits=wire_bits[survivors],
+        schedule_indices=survivors.copy(),
+        bitrate=float(bitrate),
+        duration=float(duration),
+        corrupted=out_corr[:kept].copy(),
+        retries=out_retry[:kept].copy(),
+        bus_off=out_boff[:kept].copy(),
     )

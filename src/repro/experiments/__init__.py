@@ -15,6 +15,7 @@ foldings        FINN folding optimisation trade-off
 multimodel      in-text multi-model simultaneous deployment claim
 baseline_table  trained reduced baselines on the same synthetic data
 campaigns       attack-campaign scenario sweep through the gateway
+noise           E12 — detection robustness vs wire bit-error rate
 ==============  ==========================================================
 
 All harnesses share :class:`~repro.experiments.context.ExperimentContext`

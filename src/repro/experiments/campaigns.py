@@ -206,18 +206,22 @@ class _CachedBus:
     def __init__(self, bus):
         self._bus = bus
         self.bitrate = bus.bitrate
-        self._runs: dict[float, list] = {}
-        self._captures: dict[float, object] = {}
+        self._runs: dict[tuple, list] = {}
+        self._captures: dict[tuple, object] = {}
 
-    def run(self, duration: float) -> list:
-        if duration not in self._runs:
-            self._runs[duration] = self._bus.run(duration)
-        return self._runs[duration]
+    def run(self, duration: float, faults=None) -> list:
+        # WireFaultModel is frozen/hashable, so (duration, faults) keys
+        # one simulated window per fault configuration.
+        key = (duration, faults)
+        if key not in self._runs:
+            self._runs[key] = self._bus.run(duration, faults=faults)
+        return self._runs[key]
 
-    def capture(self, duration: float):
-        if duration not in self._captures:
-            self._captures[duration] = self._bus.capture(duration)
-        return self._captures[duration]
+    def capture(self, duration: float, faults=None):
+        key = (duration, faults)
+        if key not in self._captures:
+            self._captures[key] = self._bus.capture(duration, faults=faults)
+        return self._captures[key]
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,6 @@
 """Run every experiment and render a consolidated report.
 
-``run_all`` executes E1-E10 with a shared context and returns rendered
+``run_all`` executes E1-E12 with a shared context and returns rendered
 tables keyed by experiment id; ``report_markdown`` assembles them into
 the document recorded in EXPERIMENTS.md.
 """
@@ -16,6 +16,7 @@ from repro.experiments.figure1 import render_figure1, run_figure1
 from repro.experiments.foldings import render_foldings, run_foldings
 from repro.experiments.latency_report import render_latency_report, run_latency_report
 from repro.experiments.multimodel import render_multimodel, run_multimodel
+from repro.experiments.noise import render_noise_sweep, run_noise_sweep
 from repro.experiments.resources_report import render_resources, run_resources
 from repro.experiments.table1 import render_table1, run_table1
 from repro.experiments.table2 import render_table2, run_table2
@@ -65,6 +66,8 @@ def run_all(
     if include_campaigns:
         _LOG.info("E11: attack-campaign scenario sweep")
         report["E11-campaigns"] = render_campaign_sweep(run_campaign_sweep(context)).render()
+        _LOG.info("E12: noise robustness vs wire bit-error rate")
+        report["E12-noise"] = render_noise_sweep(run_noise_sweep(context)).render()
     if include_baselines:
         _LOG.info("EX: trained reduced baselines")
         report["EX-baselines"] = render_baseline_table(run_baseline_table(context)).render()

@@ -90,6 +90,12 @@ class FleetSlice:
     frames_offered: int = 0
     frames_processed: int = 0
     frames_dropped: int = 0
+    #: wire-fault counters (see :mod:`repro.can.faults`): corrupted
+    #: attempts observed, successful retransmissions behind them, and
+    #: attempts that drove a sender into bus-off
+    frames_corrupted: int = 0
+    retransmissions: int = 0
+    bus_off_events: int = 0
     alerts: int = 0
     phases_total: int = 0
     phases_injecting: int = 0
@@ -115,6 +121,9 @@ class FleetSlice:
             frames_offered=self.frames_offered + other.frames_offered,
             frames_processed=self.frames_processed + other.frames_processed,
             frames_dropped=self.frames_dropped + other.frames_dropped,
+            frames_corrupted=self.frames_corrupted + other.frames_corrupted,
+            retransmissions=self.retransmissions + other.retransmissions,
+            bus_off_events=self.bus_off_events + other.bus_off_events,
             alerts=self.alerts + other.alerts,
             phases_total=self.phases_total + other.phases_total,
             phases_injecting=self.phases_injecting + other.phases_injecting,
@@ -136,6 +145,13 @@ class FleetSlice:
         if self.frames_offered == 0:
             return 0.0
         return self.frames_dropped / self.frames_offered
+
+    @property
+    def corruption_rate(self) -> float:
+        """Fraction of observed wire records that were corrupted attempts."""
+        if self.frames_offered == 0:
+            return 0.0
+        return self.frames_corrupted / self.frames_offered
 
     def latency_quantile_s(self, q: float) -> float | None:
         """Upper bin edge bounding the ``q``-quantile detection latency.
@@ -173,8 +189,10 @@ class FleetSlice:
 
     @classmethod
     def from_json_dict(cls, data: Mapping[str, Any]) -> "FleetSlice":
+        # .get(..., 0) keeps checkpoints written before a counter existed
+        # loadable: absent counters merge as the additive identity.
         kwargs: dict[str, Any] = {
-            spec.name: int(data[spec.name])
+            spec.name: int(data.get(spec.name, 0))
             for spec in fields(cls)
             if spec.name not in ("latency_hist", "drop_hist")
         }
@@ -257,7 +275,13 @@ class FleetAggregate:
             f"{total.frames_offered:,} frames offered",
             f"  inspected {total.frames_processed:,}, dropped "
             f"{total.frames_dropped:,} ({100.0 * total.drop_rate:.2f}%), "
-            f"{total.alerts:,} alerts",
+            f"{total.alerts:,} alerts"
+            + (
+                f", {total.frames_corrupted:,} corrupted on the wire "
+                f"({total.bus_off_events} bus-off)"
+                if total.frames_corrupted
+                else ""
+            ),
             f"  phases: {total.phases_detected}/{total.phases_injecting} "
             f"injecting phases detected "
             f"({100.0 * total.detection_rate:.1f}%)"

@@ -28,6 +28,19 @@ Determinism: every draw comes from
 seed and the shard index only, never of execution order, worker
 identity or wall clock — so a chaos run's *results* stay bit-identical
 to the fault-free run whenever every shard eventually completes.
+
+**Two fault layers, two modules.**  This module injects *scheduler*
+faults — the execution machinery (workers, processes, deadlines)
+misbehaves, the simulated world does not.  :mod:`repro.can.faults`
+injects *wire* faults — the simulated CAN physical layer misbehaves
+(bit errors, error frames, retransmission, bus-off), the execution
+machinery does not.  They compose freely: a fleet run may put every
+vehicle on a noisy harness (``FleetSpec(wire_faults=...)``) while a
+:class:`ChaosPlan` kills its shards, and because wire faults derive
+from the vehicle's seed scope (never from which worker or attempt
+simulated it), the resumed aggregate stays bit-identical to an
+uninterrupted noisy run whenever every shard eventually completes.
+``examples/fleet.py`` stages exactly this composed drill.
 """
 
 from __future__ import annotations

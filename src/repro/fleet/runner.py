@@ -111,6 +111,9 @@ class FleetResult:
             "frames_offered": total.frames_offered,
             "frames_processed": total.frames_processed,
             "frames_dropped": total.frames_dropped,
+            "frames_corrupted": total.frames_corrupted,
+            "retransmissions": total.retransmissions,
+            "bus_off_events": total.bus_off_events,
             "alerts": total.alerts,
             "phases_injecting": total.phases_injecting,
             "phases_detected": total.phases_detected,
@@ -168,6 +171,9 @@ def _vehicle_slice(campaign: Campaign, report: GatewayReport) -> FleetSlice:
         frames_offered=report.total_frames,
         frames_processed=report.total_processed,
         frames_dropped=report.total_dropped,
+        frames_corrupted=report.total_corrupted,
+        retransmissions=report.total_retransmissions,
+        bus_off_events=report.total_bus_off,
         alerts=report.total_alerts,
         phases_total=len(report.phase_outcomes),
         phases_injecting=sum(1 for phase in campaign.phases if phase.injects),
@@ -206,6 +212,13 @@ def _simulate_vehicle(
         ),
         truth=campaign.truth_windows(),
         engine=options.engine,
+        # Scoped per vehicle: every member draws an independent
+        # corruption stream from one fleet-level fault configuration.
+        faults=(
+            vehicle.wire_faults.scoped(vehicle.name)
+            if vehicle.wire_faults is not None
+            else None
+        ),
     )
     return FleetAggregate.of_vehicle(
         vehicle.scenario, vehicle.deployment, _vehicle_slice(campaign, report)

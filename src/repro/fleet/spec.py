@@ -27,6 +27,7 @@ import os
 from dataclasses import dataclass, replace
 from typing import Any, Iterator
 
+from repro.can.faults import WireFaultModel
 from repro.errors import ConfigError
 from repro.utils.rng import SeedSequence
 
@@ -148,7 +149,10 @@ class VehicleSpec:
     carries (:data:`~repro.datasets.carhacking.VEHICLE_PROFILES`);
     ``onset_offset`` delays every attack phase, staggering when the
     population comes under attack; ``duration`` rescales the scenario
-    (``None`` keeps the scenario's default).
+    (``None`` keeps the scenario's default); ``wire_faults`` puts this
+    member on a noisy harness (:mod:`repro.can.faults` — the runner
+    scopes the model per vehicle, so members draw independent
+    corruption streams from one fleet-level configuration).
     """
 
     index: int
@@ -158,6 +162,7 @@ class VehicleSpec:
     deployment: str = "per-ip"
     onset_offset: float = 0.0
     duration: float | None = None
+    wire_faults: WireFaultModel | None = None
 
     def __post_init__(self) -> None:
         from repro.datasets.carhacking import VEHICLE_PROFILES
@@ -179,6 +184,12 @@ class VehicleSpec:
             raise ConfigError(f"onset_offset must be >= 0, got {self.onset_offset}")
         if self.duration is not None and self.duration <= 0:
             raise ConfigError(f"duration must be positive, got {self.duration}")
+        if self.wire_faults is not None and not isinstance(
+            self.wire_faults, WireFaultModel
+        ):
+            raise ConfigError(
+                f"wire_faults must be a WireFaultModel, got {self.wire_faults!r}"
+            )
 
     @property
     def name(self) -> str:
@@ -202,7 +213,10 @@ class FleetSpec:
     worker derives it.
 
     ``duration`` rescales every member's scenario (``None`` keeps each
-    scenario's own default).
+    scenario's own default); ``wire_faults`` puts every sampled member
+    on the same noisy-harness configuration (each member's corruption
+    stream is still independent — the runner scopes the model by
+    vehicle name).
     """
 
     name: str = "fleet"
@@ -213,6 +227,7 @@ class FleetSpec:
     deployments: tuple[str, ...] = ("per-ip",)
     duration: float | None = None
     onset_jitter: float = 0.0
+    wire_faults: WireFaultModel | None = None
     vehicles: tuple[VehicleSpec, ...] | None = None
 
     def __post_init__(self) -> None:
@@ -236,6 +251,12 @@ class FleetSpec:
             raise ConfigError(f"onset_jitter must be >= 0, got {self.onset_jitter}")
         if self.duration is not None and self.duration <= 0:
             raise ConfigError(f"duration must be positive, got {self.duration}")
+        if self.wire_faults is not None and not isinstance(
+            self.wire_faults, WireFaultModel
+        ):
+            raise ConfigError(
+                f"wire_faults must be a WireFaultModel, got {self.wire_faults!r}"
+            )
 
     @classmethod
     def explicit(cls, vehicles: "tuple[VehicleSpec, ...] | list[VehicleSpec]", name: str = "fleet") -> "FleetSpec":
@@ -279,6 +300,7 @@ class FleetSpec:
             deployment=self.deployments[int(rng.integers(len(self.deployments)))],
             onset_offset=onset,
             duration=self.duration,
+            wire_faults=self.wire_faults,
         )
 
     def iter_vehicles(self, start: int = 0, stop: int | None = None) -> Iterator[VehicleSpec]:

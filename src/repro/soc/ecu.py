@@ -189,8 +189,11 @@ class ECUReport:
     metrics: dict[str, float] | None = None
     alerts: list[int] = field(default_factory=list)  # indices of detected attacks
     sustained_fps_value: float | None = None  #: II-gated pipeline rate
-    num_processed: int | None = None  #: serviced frames (= num_frames - fifo_dropped)
+    num_processed: int | None = None  #: serviced frames, excluding corruption
     max_fifo_occupancy: int | None = None  #: peak RX-FIFO fill (stream path)
+    #: wire-corrupted attempts observed but never admitted (CRC fails at
+    #: the controller, so they are excluded from predictions and metrics)
+    corrupted_frames: int = 0
     #: Capture positions of the serviced frames (stream path with drops);
     #: None means the identity mapping — every frame was serviced.
     kept_indices: np.ndarray | None = None
@@ -241,9 +244,10 @@ class ECUReport:
 
     def summary(self) -> str:
         processed = self.num_processed if self.num_processed is not None else self.num_frames
+        corrupted = f", {self.corrupted_frames} corrupted" if self.corrupted_frames else ""
         lines = [
             f"ECU {self.name!r}: {self.num_frames} frames "
-            f"({processed} serviced, {self.fifo_dropped} dropped)",
+            f"({processed} serviced, {self.fifo_dropped} dropped{corrupted})",
             f"  latency: mean {1e3 * self.mean_latency_s:.3f} ms, "
             f"p99 {1e3 * self.p99_latency_s:.3f} ms "
             f"(dominant: {self.latency_breakdown.dominant()})",
@@ -324,6 +328,7 @@ class IDSEnabledECU:
         queue_waits: np.ndarray | None = None,
         kept_indices: np.ndarray | None = None,
         sustained_fps: float | None = None,
+        corrupted_frames: int = 0,
     ) -> ECUReport:
         """Assemble the report for ``capture`` = the serviced frames.
 
@@ -362,6 +367,7 @@ class IDSEnabledECU:
             num_processed=len(capture),
             max_fifo_occupancy=max_fifo_occupancy,
             kept_indices=kept_indices,
+            corrupted_frames=corrupted_frames,
         )
 
     # -- capture-scale entry points ---------------------------------------
@@ -407,6 +413,7 @@ class IDSEnabledECU:
         chunk_size: int = 4096,
         drain_fps: float | None = None,
         with_metrics: bool = True,
+        corrupted: np.ndarray | None = None,
     ) -> "ECUStreamSession":
         """Open a resumable streaming session over one capture.
 
@@ -417,6 +424,13 @@ class IDSEnabledECU:
         The gateway uses this to interleave several channels in
         virtual-time order; ``drain_fps`` may be an arbitrated share of
         a shared accelerator (see :mod:`repro.soc.arbiter`).
+
+        ``corrupted`` marks capture rows that are wire-corrupted
+        attempts (see :mod:`repro.can.faults`): they fail CRC at the
+        CAN controller and never reach the RX FIFO, so they are
+        excluded from admission, predictions and metrics while still
+        counting as observed interface traffic
+        (:attr:`ECUReport.corrupted_frames`).
         """
         return ECUStreamSession(
             self,
@@ -424,6 +438,7 @@ class IDSEnabledECU:
             chunk_size=chunk_size,
             drain_fps=drain_fps,
             with_metrics=with_metrics,
+            corrupted=corrupted,
         )
 
     def process_stream(
@@ -432,6 +447,7 @@ class IDSEnabledECU:
         chunk_size: int = 4096,
         drain_fps: float | None = None,
         with_metrics: bool = True,
+        corrupted: np.ndarray | None = None,
     ) -> ECUReport:
         """Consume traffic chunk-by-chunk with real FIFO backpressure.
 
@@ -459,6 +475,7 @@ class IDSEnabledECU:
             chunk_size=chunk_size,
             drain_fps=drain_fps,
             with_metrics=with_metrics,
+            corrupted=corrupted,
         )
         while not session.done:
             session.step()
@@ -513,6 +530,7 @@ class ECUStreamSession:
         chunk_size: int = 4096,
         drain_fps: float | None = None,
         with_metrics: bool = True,
+        corrupted: np.ndarray | None = None,
     ):
         if len(capture) == 0:
             raise SoCError("cannot process an empty capture")
@@ -527,27 +545,53 @@ class ECUStreamSession:
         self._service_s = 1.0 / self.drain_fps
         self._capture = capture
 
+        if corrupted is not None:
+            corrupted = np.asarray(corrupted, dtype=bool)
+            if corrupted.shape != (len(capture),):
+                raise SoCError(
+                    f"corrupted mask covers {corrupted.shape[0] if corrupted.ndim == 1 else corrupted.shape} "
+                    f"rows, capture has {len(capture)}"
+                )
+        if corrupted is not None and bool(corrupted.any()):
+            # Corrupted attempts are destroyed on the wire by the error
+            # frame: they never clear the CAN controller's CRC check,
+            # so they never occupy an RX-FIFO slot.  Admission runs
+            # over the clean rows only; positions are remembered so
+            # kept_indices still maps into the *original* capture.
+            clean_indices = np.flatnonzero(~corrupted)
+            offered = capture[clean_indices]
+        else:
+            clean_indices = None
+            offered = capture
+        if len(offered) == 0:
+            raise SoCError("every frame in the capture is corrupted; nothing to scan")
+        self.corrupted_frames = len(capture) - len(offered)
+        self._offered = offered
+
         kept_mask, self.max_occupancy, queue_waits, evictions = (
             _simulate_fifo_admission_events(
-                capture.timestamps, self._service_s, ecu.fifo.capacity
+                offered.timestamps, self._service_s, ecu.fifo.capacity
             )
         )
         if bool(kept_mask.all()):
             # Drop-free (the common case): the admitted stream IS the
-            # capture — alias it zero-copy instead of mask-copying every
-            # column, and chunk slices below stay views of the caller's
-            # buffers end to end.
-            self._kept = capture
-            self.kept_indices = np.arange(len(capture), dtype=np.int64)
+            # offered capture — alias it zero-copy instead of
+            # mask-copying every column, and chunk slices below stay
+            # views of the caller's buffers end to end.
+            self._kept = offered
+            kept_positions = np.arange(len(offered), dtype=np.int64)
             self._queue_waits = queue_waits
             self._eviction_times = np.zeros(0, dtype=np.float64)
         else:
-            self._kept = capture[kept_mask]
-            self.kept_indices = np.flatnonzero(kept_mask)
+            self._kept = offered[kept_mask]
+            kept_positions = np.flatnonzero(kept_mask)
             self._queue_waits = queue_waits[kept_mask]
             #: when drop-oldest evicted each casualty (sorted)
             self._eviction_times = np.sort(evictions[~kept_mask])
-        self.fifo_dropped = len(capture) - len(self._kept)
+        self.kept_indices = (
+            clean_indices[kept_positions] if clean_indices is not None else kept_positions
+        )
+        self.fifo_dropped = len(offered) - len(self._kept)
         #: service-start times of admitted frames (non-decreasing: FIFO order)
         self._starts = self._kept.timestamps + self._queue_waits
         ecu.fifo.transfer(len(self._kept))
@@ -560,7 +604,7 @@ class ECUStreamSession:
 
     @property
     def num_frames(self) -> int:
-        """Frames that arrived at the interface (serviced + dropped)."""
+        """Frames observed at the interface (serviced + dropped + corrupted)."""
         return len(self._capture)
 
     @property
@@ -599,7 +643,7 @@ class ECUStreamSession:
         drop-oldest evicted them — so under a flood this reads at or
         near capacity, consistent with ``max_occupancy``.
         """
-        arrived = int(np.searchsorted(self._capture.timestamps, when, side="right"))
+        arrived = int(np.searchsorted(self._offered.timestamps, when, side="right"))
         begun = int(np.searchsorted(self._starts, when, side="right"))
         evicted = int(np.searchsorted(self._eviction_times, when, side="right"))
         return arrived - begun - evicted
@@ -640,5 +684,6 @@ class ECUStreamSession:
                 queue_waits=self._queue_waits,
                 kept_indices=self.kept_indices,
                 sustained_fps=self.drain_fps,
+                corrupted_frames=self.corrupted_frames,
             )
         return self._report

@@ -48,6 +48,7 @@ import numpy as np
 
 from repro.can.attacks import DoSAttacker
 from repro.can.bus import BusSimulator, bus_load
+from repro.can.faults import WireFaultModel
 from repro.can.log import CaptureArray
 from repro.errors import SoCError
 from repro.soc.arbiter import ArbitrationGrant, SharedAcceleratorArbiter
@@ -106,6 +107,9 @@ class PhaseOutcome:
     #: of ``alerts``
     true_alerts: int
     detection_latency_s: float | None  #: first true alert - phase start
+    #: wire-corrupted attempts observed inside the window — counted (the
+    #: IDS saw bus activity) but excluded from predictions and alerts
+    corrupted_frames: int = 0
 
     @property
     def detected(self) -> bool:
@@ -140,6 +144,12 @@ class ChannelResult:
     grant: ArbitrationGrant | None = None  #: shared-IP slot grant, if any
     capture: CaptureArray | None = None  #: observed traffic (None when idle)
     phase_outcomes: tuple[PhaseOutcome, ...] = ()  #: campaign phase verdicts
+    #: wire-fault attribution (see :mod:`repro.can.faults`): corrupted
+    #: attempts observed, successful retransmissions behind them, and
+    #: attempts that drove a sender into bus-off
+    corrupted_frames: int = 0
+    retransmissions: int = 0
+    bus_off_frames: int = 0
 
     @property
     def idle(self) -> bool:
@@ -193,6 +203,21 @@ class GatewayReport:
     @property
     def total_alerts(self) -> int:
         return sum(c.num_alerts for c in self.channels)
+
+    @property
+    def total_corrupted(self) -> int:
+        """Wire-corrupted attempts observed across all segments."""
+        return sum(c.corrupted_frames for c in self.channels)
+
+    @property
+    def total_retransmissions(self) -> int:
+        """Successful retransmissions behind corrupted attempts."""
+        return sum(c.retransmissions for c in self.channels)
+
+    @property
+    def total_bus_off(self) -> int:
+        """Attempts that drove their sender into bus-off."""
+        return sum(c.bus_off_frames for c in self.channels)
 
     @property
     def aggregate_offered_fps(self) -> float:
@@ -264,10 +289,16 @@ class GatewayReport:
                     f", drain {channel.effective_drain_fps:,.0f} msg/s "
                     f"({100.0 / channel.grant.slot_factor:.0f}% of shared-IP slots)"
                 )
+            wire_note = (
+                f"{channel.corrupted_frames} corrupted, "
+                if channel.corrupted_frames
+                else ""
+            )
             lines.append(
                 f"  [{channel.name}] load {100.0 * channel.bus_load:.1f}%, "
                 f"{report.num_frames} frames, "
                 f"{report.fifo_dropped} dropped, "
+                f"{wire_note}"
                 f"{len(report.alerts)} alerts"
                 + (
                     f", F1 {report.metrics['f1']:.2f}"
@@ -298,6 +329,7 @@ def _phase_outcomes(
     sources: np.ndarray,
     report: ECUReport,
     windows: Sequence[tuple[str, float, float]],
+    corrupted: np.ndarray | None = None,
 ) -> tuple[PhaseOutcome, ...]:
     """Attribute one channel's verdicts to its ground-truth phase windows.
 
@@ -359,6 +391,9 @@ def _phase_outcomes(
                 alerts=int(alerts.sum()),
                 true_alerts=int(true_alerts.sum()),
                 detection_latency_s=detection_latency,
+                corrupted_frames=(
+                    int((observed & corrupted).sum()) if corrupted is not None else 0
+                ),
             )
         )
     return tuple(outcomes)
@@ -400,6 +435,7 @@ class IDSGateway:
         arbiter: SharedAcceleratorArbiter | None = None,
         truth: Mapping[str, Sequence[tuple]] | None = None,
         engine: str = "columnar",
+        faults: WireFaultModel | None = None,
     ) -> GatewayReport:
         """Run every segment for ``duration`` seconds and scan its traffic.
 
@@ -435,6 +471,17 @@ class IDSGateway:
         without per-frame record objects — while ``"event"`` keeps the
         reference :meth:`~repro.can.bus.BusSimulator.run` loop (buses
         lacking a ``capture`` method fall back to it automatically).
+
+        ``faults`` enables the wire-level fault layer on every segment:
+        each channel simulates under ``faults.for_channel(name)`` (an
+        independent per-channel corruption stream from one seed).
+        Corrupted attempts are flagged by the bus engines, counted on
+        the :class:`ChannelResult` (with retransmissions and bus-off
+        attempts) and *excluded* from the ECU's predictions — the IDS
+        degrades gracefully instead of classifying garbage.  Buses
+        whose attached sources inject targeted faults (the bus-off
+        attacker) produce the same attribution even with no ``faults``
+        model passed here.
         """
         if not self._channels:
             raise SoCError("gateway has no channels attached")
@@ -456,27 +503,63 @@ class IDSGateway:
         # overlapping phases stay distinguishable.  Other channels skip
         # the per-record extraction — it is pure dead weight there.
         traffic: dict[str, tuple[float, CaptureArray, np.ndarray | None]] = {}
+        # Wire-fault attribution per channel: (corrupted mask | None,
+        # retransmission count, bus-off attempt count).
+        wire: dict[str, tuple[np.ndarray | None, int, int]] = {}
         for name, (bus, ecu) in self._channels.items():
+            channel_faults = faults.for_channel(name) if faults is not None else None
             want_sources = truth is not None and bool(truth.get(name))
             columnar = getattr(bus, "capture", None) if engine == "columnar" else None
             if columnar is not None:
-                window = columnar(duration)
+                # The keyword is only passed when a model is in force so
+                # plain caching wrappers (campaign sweeps) stay valid.
+                window = (
+                    columnar(duration, faults=channel_faults)
+                    if channel_faults is not None
+                    else columnar(duration)
+                )
+                corrupted_mask = window.corrupted
+                wire[name] = (
+                    corrupted_mask,
+                    int(window.retry_counts[~window.corrupted_mask].sum()),
+                    int(window.bus_off_mask.sum()),
+                )
                 traffic[name] = (
                     window.bus_load(),
                     window.capture,
                     window.sources if want_sources else None,
                 )
                 continue
-            bus_records = bus.run(duration)
+            bus_records = (
+                bus.run(duration, faults=channel_faults)
+                if channel_faults is not None
+                else bus.run(duration)
+            )
             sources = None
             if want_sources:
                 sources = np.array([record.source for record in bus_records], dtype=str)
+            corrupted_mask = np.array(
+                [record.corrupted for record in bus_records], dtype=bool
+            )
+            wire[name] = (
+                corrupted_mask if bool(corrupted_mask.any()) else None,
+                sum(r.retries for r in bus_records if not r.corrupted),
+                sum(1 for r in bus_records if r.bus_off),
+            )
             traffic[name] = (
                 bus_load(bus_records, duration, bus.bitrate),
                 CaptureArray.from_bus_records(bus_records),
                 sources,
             )
-        active = [name for name, (_, capture, _) in traffic.items() if len(capture)]
+        # A channel is active when it has at least one *clean* frame to
+        # scan; a segment whose every observed frame was corrupted
+        # degrades to an idle result carrying the fault counters.
+        active = []
+        for name, (_, capture, _) in traffic.items():
+            corrupted_mask = wire[name][0]
+            bad = int(corrupted_mask.sum()) if corrupted_mask is not None else 0
+            if len(capture) - bad > 0:
+                active.append(name)
 
         # Phase 2: plan drain rates (shared-IP arbitration, if any).
         grants: dict[str, ArbitrationGrant] = {}
@@ -503,6 +586,7 @@ class IDSGateway:
                 chunk_size=chunk_size,
                 drain_fps=channel_drain,
                 with_metrics=with_metrics,
+                corrupted=wire[name][0],
             )
 
         # Phase 4: advance sessions to completion in the chosen order.
@@ -524,16 +608,30 @@ class IDSGateway:
         results: list[ChannelResult] = []
         for name in self._channels:
             load, capture, sources = traffic[name]
+            corrupted_mask, retransmissions, bus_off_frames = wire[name]
+            corrupted_frames = (
+                int(corrupted_mask.sum()) if corrupted_mask is not None else 0
+            )
             if name not in sessions:
                 results.append(
-                    ChannelResult(name=name, bus_load=load, report=None, capture=None)
+                    ChannelResult(
+                        name=name,
+                        bus_load=load,
+                        report=None,
+                        capture=capture if len(capture) else None,
+                        corrupted_frames=corrupted_frames,
+                        retransmissions=retransmissions,
+                        bus_off_frames=bus_off_frames,
+                    )
                 )
                 continue
             session = sessions[name]
             report = session.finish()
             outcomes: tuple[PhaseOutcome, ...] = ()
             if truth is not None and truth.get(name):
-                outcomes = _phase_outcomes(name, capture, sources, report, truth[name])
+                outcomes = _phase_outcomes(
+                    name, capture, sources, report, truth[name], corrupted_mask
+                )
             results.append(
                 ChannelResult(
                     name=name,
@@ -543,6 +641,9 @@ class IDSGateway:
                     grant=grants.get(name),
                     capture=capture,
                     phase_outcomes=outcomes,
+                    corrupted_frames=corrupted_frames,
+                    retransmissions=retransmissions,
+                    bus_off_frames=bus_off_frames,
                 )
             )
         return GatewayReport(

@@ -29,6 +29,40 @@ class TestCRC15:
     def test_crc_in_15_bit_range(self, bits):
         assert 0 <= crc15(np.array(bits, dtype=np.uint8)) < 2**15
 
+    @given(st.lists(st.integers(0, 1), min_size=1, max_size=80))
+    def test_property_detects_every_single_bit_flip(self, bits):
+        # The CRC-15 guarantee the fault layer's corruption model rests
+        # on: ANY single flipped bit changes the checksum — exhaustive
+        # over every position of the drawn body, not a sample.
+        body = np.array(bits, dtype=np.uint8)
+        base = crc15(body)
+        for position in range(len(body)):
+            flipped = body.copy()
+            flipped[position] ^= 1
+            assert crc15(flipped) != base
+
+    @given(
+        st.lists(st.integers(0, 1), min_size=16, max_size=96),
+        st.integers(1, 15),
+        st.data(),
+    )
+    def test_property_detects_bursts_up_to_15_bits(self, bits, burst_len, data):
+        # A degree-15 generator with a +1 term detects every burst no
+        # longer than 15 bits, whatever the error pattern inside it.
+        body = np.array(bits, dtype=np.uint8)
+        start = data.draw(st.integers(0, len(body) - burst_len))
+        pattern = np.array(
+            data.draw(
+                st.lists(st.integers(0, 1), min_size=burst_len, max_size=burst_len)
+            ),
+            dtype=np.uint8,
+        )
+        pattern[0] = 1
+        pattern[-1] = 1  # endpoints flipped: the error genuinely spans burst_len
+        corrupted = body.copy()
+        corrupted[start : start + burst_len] ^= pattern
+        assert crc15(corrupted) != crc15(body)
+
 
 class TestCANFrameStructure:
     def test_dlc_matches_payload(self):

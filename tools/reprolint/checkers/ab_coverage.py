@@ -11,10 +11,14 @@ tree: for every *public* callable exposing an A/B parameter
 test calls, where an observation is
 
 * an explicit literal keyword (``engine="event"``),
-* an omitted keyword (counts as the source-side default), or
+* an omitted keyword (counts as the source-side default),
 * a literal forwarded one level through an enclosing test helper
   (``def report_for(engine): ... gateway.monitor(engine=engine)``
-  called as ``report_for("event")``).
+  called as ``report_for("event")``), or
+* any non-literal keyword, recorded as the ``"<non-null>"`` sentinel —
+  switches like ``faults=`` take a constructed object rather than an
+  enum literal, so the required pair is ``(None, "<non-null>")``:
+  tested off, and tested with *some* model bound to a variable.
 """
 
 from __future__ import annotations
@@ -27,6 +31,10 @@ from typing import Iterator, Sequence
 from tools.reprolint.core import Checker, FileContext, Violation, register
 
 _MISSING = object()
+
+#: Observation recorded for a keyword whose value is any non-literal
+#: expression; pairs with the same sentinel string in ``ab_required``.
+NON_LITERAL = "<non-null>"
 
 
 def _literal(node: ast.expr) -> object:
@@ -133,7 +141,9 @@ class ABEquivalenceCoverage(Checker):
                     value = _literal(keyword.value)
                     if value is not _MISSING:
                         observed[(callee, definition.param)].add(value)
-                    elif isinstance(keyword.value, ast.Name) and enclosing is not None:
+                        continue
+                    forwarded = False
+                    if isinstance(keyword.value, ast.Name) and enclosing is not None:
                         params = [
                             a.arg
                             for a in [
@@ -142,6 +152,7 @@ class ABEquivalenceCoverage(Checker):
                             ]
                         ]
                         if keyword.value.id in params:
+                            forwarded = True
                             forwarders.append(
                                 (
                                     enclosing.name,
@@ -151,6 +162,12 @@ class ABEquivalenceCoverage(Checker):
                                     _param_default(enclosing.args, keyword.value.id),
                                 )
                             )
+                    if not forwarded:
+                        # Non-literal, non-forwarded argument: a
+                        # constructed object (or expression) was passed,
+                        # so the switch is observably on even though the
+                        # exact value is not a literal.
+                        observed[(callee, definition.param)].add(NON_LITERAL)
 
         # Pass 2: resolve literals passed through one forwarding level.
         for caller, caller_param, callee, param, caller_default in forwarders:
@@ -159,11 +176,13 @@ class ABEquivalenceCoverage(Checker):
                     if name != caller:
                         continue
                     value = self._argument_literal(call, caller, caller_param, scanners)
+                    provided = any(kw.arg == caller_param for kw in call.keywords)
                     if value is not _MISSING:
                         observed[(callee, param)].add(value)
-                    elif caller_default is not _MISSING and not any(
-                        kw.arg == caller_param for kw in call.keywords
-                    ):
+                    elif provided:
+                        # Forwarded a non-literal: the switch is on.
+                        observed[(callee, param)].add(NON_LITERAL)
+                    elif caller_default is not _MISSING:
                         observed[(callee, param)].add(caller_default)
 
         for definition in definitions:

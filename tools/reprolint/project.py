@@ -43,6 +43,7 @@ class LintConfig:
     rng_home: tuple[str, ...] = ("src/repro/utils/rng.py",)
     kernel_modules: tuple[str, ...] = (
         "src/repro/can/fastbus.py",
+        "src/repro/can/faults.py",
         "src/repro/can/log.py",
         "src/repro/can/frame.py",
         "src/repro/can/node.py",
@@ -91,6 +92,7 @@ class LintConfig:
         "src/repro/can/frame.py",
         "src/repro/can/log.py",
         "src/repro/can/fastbus.py",
+        "src/repro/can/faults.py",
         "src/repro/utils/rng.py",
         "src/repro/finn/compiled.py",
         "src/repro/fleet/spec.py",
@@ -102,9 +104,16 @@ class LintConfig:
         "src/repro/fleet/checkpoint.py",
     )
     #: A/B switch parameter -> the pair of values tests must exercise.
+    #: ``"<non-null>"`` is the ab-equivalence checker's sentinel for a
+    #: non-literal argument (a constructed model bound to a variable):
+    #: ``faults=`` switches must be tested off (None) and on (a model).
     ab_required: Mapping[str, tuple[object, ...]] = field(
         default_factory=lambda: MappingProxyType(
-            {"engine": ("columnar", "event"), "compiled": (True, False)}
+            {
+                "engine": ("columnar", "event"),
+                "compiled": (True, False),
+                "faults": (None, "<non-null>"),
+            }
         )
     )
 
